@@ -1,0 +1,71 @@
+"""Tile-size auto-tuning bench (the provenance of Table I's tile sizes).
+
+Tunes two representative pipelines against the CPU model and checks the
+landscape's sanity: the tuned size is never worse than the Table I size,
+and degenerate tilings (maximum tile = no tiling benefit, minimum tile =
+halo-dominated) lose to the tuned one.
+"""
+
+from common import image_program, print_table, save_results
+from repro.scheduler import autotune_tile_sizes
+
+PIPELINES = ("unsharp_mask", "harris")
+CANDIDATES = (8, 32, 128, 512)
+
+
+def compute_autotune():
+    rows = []
+    raw = {}
+    for name in PIPELINES:
+        mod, prog = image_program(name)
+        result = autotune_tile_sizes(
+            prog, target="cpu", threads=32, candidates=CANDIDATES
+        )
+        paper_sizes = tuple(mod.TILE_SIZES)
+        paper_time = result.evaluations.get(paper_sizes)
+        raw[name] = {
+            "best_sizes": list(result.best_sizes),
+            "best_ms": result.best_time * 1e3,
+            "paper_sizes": list(paper_sizes),
+            "paper_ms": None if paper_time is None else paper_time * 1e3,
+            "evaluations": {
+                "x".join(map(str, k)): v * 1e3
+                for k, v in result.evaluations.items()
+            },
+        }
+        rows.append(
+            [
+                name,
+                "x".join(map(str, result.best_sizes)),
+                f"{result.best_time * 1e3:.3f}",
+                "x".join(map(str, paper_sizes)),
+                "-" if paper_time is None else f"{paper_time * 1e3:.3f}",
+            ]
+        )
+    return rows, raw
+
+
+def test_autotune(benchmark):
+    rows, raw = benchmark.pedantic(compute_autotune, rounds=1, iterations=1)
+    print_table(
+        "Tile-size auto-tuning vs Table I sizes (CPU model, 32 threads)",
+        ["benchmark", "tuned", "tuned ms", "Table I", "Table I ms"],
+        rows,
+    )
+    save_results("autotune", raw)
+
+    for name, r in raw.items():
+        evals = r["evaluations"]
+        best = r["best_ms"]
+        # the tuned size is the argmin by construction; sanity: the spread
+        # between best and worst tiling is real (tile sizes matter)
+        worst = max(evals.values())
+        assert worst > best * 1.2, name
+        # Table I's size, when in the candidate grid, is near-competitive
+        if r["paper_ms"] is not None:
+            assert r["paper_ms"] <= worst
+
+
+if __name__ == "__main__":
+    rows, _ = compute_autotune()
+    print_table("Auto-tuning", ["benchmark", "tuned", "ms", "paper", "ms"], rows)

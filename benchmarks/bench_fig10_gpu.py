@@ -1,0 +1,82 @@
+"""Figure 10 (and Table I's GPU columns) — PolyMage benchmarks on GPU.
+
+Speedup over PPCG's minfuse baseline for smartfuse, maxfuse, Halide's
+manual schedule, and our work.  Shape expectations: ours beats Halide on
+average (~+17% in the paper) except on Bilateral Grid and Unsharp Mask
+where Halide's manual unrolling wins slightly; maxfuse collapses when it
+costs parallelism.
+"""
+
+from common import (
+    GPU,
+    IMAGE_PIPELINES,
+    gpu_time,
+    fmt_speedup,
+    halide_gpu_time,
+    image_program,
+    our_gpu_work,
+    print_table,
+    save_results,
+)
+from repro.machine import analyze_scheduled
+from repro.scheduler import MAXFUSE, MINFUSE, SMARTFUSE, schedule_program
+
+VERSIONS = ("smartfuse", "maxfuse", "Halide", "ours")
+
+
+def compute_fig10():
+    rows = []
+    raw = {}
+    for name in sorted(IMAGE_PIPELINES):
+        mod, prog = image_program(name)
+        ts = mod.TILE_SIZES
+
+        t_min = gpu_time(analyze_scheduled(schedule_program(prog, MINFUSE), ts))
+        t_smart = gpu_time(analyze_scheduled(schedule_program(prog, SMARTFUSE), ts))
+        t_max = gpu_time(analyze_scheduled(schedule_program(prog, MAXFUSE), ts))
+        t_halide = halide_gpu_time(mod, prog, ts, name)
+        w_ours, _ = our_gpu_work(prog, ts)
+        t_ours = gpu_time(w_ours)
+
+        speedups = {
+            "smartfuse": t_min / t_smart,
+            "maxfuse": t_min / t_max,
+            "Halide": t_min / t_halide,
+            "ours": t_min / t_ours,
+        }
+        raw[name] = {"minfuse_ms": t_min * 1e3, **speedups}
+        rows.append([name] + [fmt_speedup(speedups[v]) for v in VERSIONS])
+    return rows, raw
+
+
+def test_fig10_gpu(benchmark):
+    rows, raw = benchmark.pedantic(compute_fig10, rounds=1, iterations=1)
+    print_table(
+        "Fig. 10: GPU speedup over PPCG minfuse (modeled Quadro P6000)",
+        ["benchmark"] + list(VERSIONS),
+        rows,
+    )
+    save_results("fig10_gpu", raw)
+
+    ours_vs_halide = [r["ours"] / r["Halide"] for r in raw.values()]
+    geo = 1.0
+    for x in ours_vs_halide:
+        geo *= x
+    # ours beats Halide on average (paper: +17%).  The paper's one nuance —
+    # Halide *slightly* winning BG and UM through manual channel unrolling —
+    # is microarchitectural ILP below this model's resolution; we apply a
+    # small modeled bonus but the structural fusion advantage dominates
+    # (recorded as a deviation in EXPERIMENTS.md).
+    assert geo ** (1 / len(ours_vs_halide)) > 1.0
+    # maxfuse never beats ours (parallelism loss)
+    for name, r in raw.items():
+        assert r["ours"] >= r["maxfuse"] * 0.99, name
+    # smartfuse sits between minfuse and ours everywhere
+    for name, r in raw.items():
+        assert r["smartfuse"] >= 1.0, name
+        assert r["ours"] >= r["smartfuse"] * 0.85, name
+
+
+if __name__ == "__main__":
+    rows, _ = compute_fig10()
+    print_table("Fig. 10", ["benchmark"] + list(VERSIONS), rows)

@@ -1,0 +1,7 @@
+"""Make the shared benchmark helpers and the src tree importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

@@ -1,0 +1,52 @@
+"""Tile-size auto-tuning (the strategy behind Table I's tile column).
+
+PolyMage tunes tile sizes by trying {8, 16, ..., 512} per dimension; the
+paper reuses those tuned sizes.  Because the pass only needs tile sizes
+for the *live-out* space, the search stays 2-D no matter how deep the
+pipeline is.  This demo tunes Unsharp Mask against the CPU model and
+shows the landscape.
+
+Run:  python examples/autotune_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.pipelines import unsharp_mask
+from repro.scheduler import autotune_tile_sizes
+
+SIZE = 1024
+
+
+def main():
+    prog = unsharp_mask.build(SIZE)
+    print(f"auto-tuning {prog.name} at {SIZE}x{SIZE} (modeled 32-core CPU)...")
+    result = autotune_tile_sizes(
+        prog, target="cpu", threads=32, candidates=(8, 16, 32, 64, 128, 256, 512)
+    )
+    print(f"searched {len(result.evaluations)} tilings "
+          f"in {result.tuning_seconds:.1f} s")
+    print(f"best: {result.best_sizes} at {result.best_time * 1e3:.3f} ms")
+    print("\ntop 5:")
+    for sizes, t in result.top(5):
+        print(f"  {str(sizes):12s} {t * 1e3:8.3f} ms")
+    worst = max(result.evaluations.items(), key=lambda kv: kv[1])
+    print(f"worst: {worst[0]} at {worst[1] * 1e3:.3f} ms "
+          f"({worst[1] / result.best_time:.1f}x slower than best)")
+    paper = tuple(unsharp_mask.TILE_SIZES)
+    if paper in result.evaluations:
+        t_paper = result.evaluations[paper]
+        print(
+            f"\nTable I used {paper} for this pipeline: "
+            f"{t_paper * 1e3:.3f} ms here — within "
+            f"{t_paper / result.best_time:.2f}x of the tuned optimum.  "
+            "(The analytical model is nearly orientation-symmetric; the "
+            "real machine's row-major locality is what makes the paper's "
+            "wide-short orientation the physical winner.)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show the available workloads;
+* ``optimize <workload>`` — run the paper's pass and print the fusion
+  result, schedule tree and compile time;
+* ``code <workload>`` — print the generated OpenMP or CUDA code;
+* ``time <workload>`` — predicted execution times for our pass and the
+  PPCG fusion heuristics on the modeled machines;
+* ``tune <workload>`` — tile-size auto-tuning against the machine model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .codegen import print_tree
+from .core import optimize
+from .machine import analyze_optimized, analyze_scheduled, cpu_time, gpu_time
+from .pipelines import IMAGE_PIPELINES, conv2d, equake, polybench, resnet
+from .scheduler import HEURISTICS, SchedulerError, schedule_program
+
+
+def _build_workload(name: str, size: Optional[int]):
+    if name in IMAGE_PIPELINES:
+        return IMAGE_PIPELINES[name].build(size or 512)
+    if name == "conv2d":
+        s = size or 64
+        return conv2d.build({"H": s, "W": s, "KH": 3, "KW": 3})
+    if name == "conv_bn":
+        s = size or 32
+        return resnet.build_operator_pair(s, s)
+    if name == "equake":
+        return equake.build(n=size or 8000)
+    if name in polybench.BUILDERS:
+        return polybench.BUILDERS[name](size or 256)
+    raise SystemExit(f"unknown workload {name!r}; try `python -m repro list`")
+
+
+def _default_tiles(name: str):
+    if name in IMAGE_PIPELINES:
+        return IMAGE_PIPELINES[name].TILE_SIZES
+    if name == "equake":
+        return None
+    return (32, 32)
+
+
+def cmd_list(_args) -> int:
+    print("image pipelines: " + ", ".join(sorted(IMAGE_PIPELINES)))
+    print("polybench:       " + ", ".join(sorted(polybench.BUILDERS)))
+    print("other:           conv2d, conv_bn, equake")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    prog = _build_workload(args.workload, args.size)
+    tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
+    result = optimize(prog, target=args.target, tile_sizes=tiles)
+    print(f"workload:     {prog.name} ({len(prog.statements)} statements)")
+    print(f"target:       {result.target.name}, tile sizes {tiles}")
+    print(f"compile time: {result.compile_seconds * 1e3:.1f} ms")
+    print(f"fusion:       {result.fusion_summary()}")
+    if args.tree:
+        print()
+        print(result.tree.pretty())
+    return 0
+
+
+def cmd_code(args) -> int:
+    prog = _build_workload(args.workload, args.size)
+    tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
+    result = optimize(prog, target=args.target, tile_sizes=tiles)
+    style = "cuda" if args.target == "gpu" else "openmp"
+    if args.target == "gpu":
+        from .codegen.gpu_mapping import map_to_gpu
+
+        map_to_gpu(result)
+    print(print_tree(result.tree, prog, style=style))
+    return 0
+
+
+def cmd_time(args) -> int:
+    prog = _build_workload(args.workload, args.size)
+    tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
+    result = optimize(prog, target=args.target, tile_sizes=tiles)
+    work = analyze_optimized(result)
+    rows = []
+    if args.target == "gpu":
+        rows.append(("ours", gpu_time(work)))
+    else:
+        rows.append(("ours", cpu_time(work, args.threads)))
+    for heuristic in HEURISTICS:
+        try:
+            sched = schedule_program(prog, heuristic)
+        except SchedulerError as exc:
+            rows.append((heuristic, None))
+            continue
+        hwork = analyze_scheduled(sched, tiles)
+        t = gpu_time(hwork) if args.target == "gpu" else cpu_time(hwork, args.threads)
+        rows.append((heuristic, t))
+    print(f"{prog.name} on modeled {args.target} "
+          f"({args.threads} threads):" if args.target == "cpu" else "")
+    for name, t in rows:
+        text = "failed" if t is None else f"{t * 1e3:10.3f} ms"
+        print(f"  {name:12s} {text}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .scheduler.autotune import autotune_tile_sizes
+
+    prog = _build_workload(args.workload, args.size)
+    candidates = tuple(args.candidates) if args.candidates else (8, 32, 128)
+    result = autotune_tile_sizes(
+        prog, target=args.target, threads=args.threads, candidates=candidates
+    )
+    print(f"searched {len(result.evaluations)} tilings "
+          f"in {result.tuning_seconds:.1f} s")
+    print(f"best tile sizes: {result.best_sizes} "
+          f"({result.best_time * 1e3:.3f} ms modeled)")
+    for sizes, t in result.top(5):
+        print(f"  {str(sizes):14s} {t * 1e3:9.3f} ms")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Post-tiling fusion (MICRO 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(fn=cmd_list)
+
+    for name, fn in (
+        ("optimize", cmd_optimize),
+        ("code", cmd_code),
+        ("time", cmd_time),
+        ("tune", cmd_tune),
+    ):
+        p = sub.add_parser(name)
+        p.add_argument("workload")
+        p.add_argument("--size", type=int, default=None)
+        p.add_argument("--tile", type=int, nargs="+", default=None)
+        p.add_argument("--target", choices=["cpu", "gpu", "npu"], default="cpu")
+        if name == "optimize":
+            p.add_argument("--tree", action="store_true", help="print the schedule tree")
+        if name in ("time", "tune"):
+            p.add_argument("--threads", type=int, default=32)
+        if name == "tune":
+            p.add_argument("--candidates", type=int, nargs="+", default=None)
+        p.set_defaults(fn=fn)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""``repro.baselines`` — the comparators of the evaluation.
+
+* PPCG heuristics (minfuse/smartfuse/maxfuse/hybridfuse) live in
+  :mod:`repro.scheduler.fusion` and are costed with ``analyze_scheduled``;
+* :func:`halide_result` — Halide's published manual schedules, as fixed
+  partitions run through the paper's own tiling machinery;
+* :func:`polymage_result` — PolyMage: aggressive fusion with
+  tiling-after-fusion, costed with the ``box_total`` overlap policy
+  (group-wide over-approximated halos);
+* naive — the untransformed sequential program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import TargetSpec
+from ..core.tile_shapes import CPU
+from ..ir import Program
+from ..machine import ProgramWork, analyze_optimized, analyze_scheduled
+from ..scheduler import MINFUSE, schedule_program
+from .manual import (
+    PartitionedResult,
+    make_group,
+    partitioned_result,
+    scheduled_from_partition,
+)
+
+
+def halide_result(
+    program: Program,
+    partition: Sequence[Sequence[str]],
+    tile_sizes: Optional[Sequence[int]],
+    target: TargetSpec = CPU,
+) -> PartitionedResult:
+    """Halide manual schedule: a fixed partition with compute_at fusion."""
+    return partitioned_result(program, partition, tile_sizes, target)
+
+
+def halide_work(
+    program: Program,
+    partition: Sequence[Sequence[str]],
+    tile_sizes: Optional[Sequence[int]],
+    target: TargetSpec = CPU,
+    params=None,
+) -> ProgramWork:
+    res = halide_result(program, partition, tile_sizes, target)
+    return analyze_optimized(res, params)  # exact per-stage regions
+
+
+def polymage_result(
+    program: Program,
+    partition: Sequence[Sequence[str]],
+    tile_sizes: Optional[Sequence[int]],
+    target: TargetSpec = CPU,
+) -> PartitionedResult:
+    """PolyMage grouping (given partition), overlapped tiling after fusion."""
+    return partitioned_result(program, partition, tile_sizes, target)
+
+
+def polymage_work(
+    program: Program,
+    partition: Sequence[Sequence[str]],
+    tile_sizes: Optional[Sequence[int]],
+    target: TargetSpec = CPU,
+    params=None,
+) -> ProgramWork:
+    res = polymage_result(program, partition, tile_sizes, target)
+    return analyze_optimized(res, params, overlap="box_total")
+
+
+def naive_work(program: Program, params=None) -> ProgramWork:
+    """The untransformed program: no fusion, no tiling, no vectorisation."""
+    sched = schedule_program(program, MINFUSE)
+    work = analyze_scheduled(sched, None, params)
+    for c in work.clusters:
+        c.vectorizable = False
+        c.n_parallel_dims = 0
+        c.parallel_units = 1
+    return work
+
+
+__all__ = [
+    "PartitionedResult",
+    "halide_result",
+    "halide_work",
+    "make_group",
+    "naive_work",
+    "partitioned_result",
+    "polymage_result",
+    "polymage_work",
+    "scheduled_from_partition",
+]

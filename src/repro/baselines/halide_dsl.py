@@ -1,0 +1,149 @@
+"""A Halide-flavoured scheduling DSL over the baseline machinery.
+
+Halide separates the *algorithm* (our :class:`Program`) from the
+*schedule*: per-stage directives like ``compute_root()`` (materialise the
+stage into memory) and ``compute_at(consumer)`` (recompute the stage's
+required region inside the consumer's tiles).  This module provides that
+vocabulary and lowers it onto :func:`repro.baselines.partitioned_result`,
+so manual schedules can be written the way Halide users write them —
+and costed with the same machinery as everything else.
+
+The expressiveness gap the paper identifies remains by construction:
+these primitives only transform *computations*; the grouping is whatever
+the schedule author wrote, never derived from the data space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import TargetSpec
+from ..core.tile_shapes import CPU
+from ..ir import Program
+from .manual import PartitionedResult, partitioned_result
+
+
+class HalideScheduleError(ValueError):
+    pass
+
+
+@dataclass
+class _StageSchedule:
+    stage: str                      # the *stage* name (statement group)
+    placement: str = "inline"       # "root" | "at" | "inline"
+    anchor: Optional[str] = None    # consumer stage for compute_at
+
+
+class HalideSchedule:
+    """Accumulates per-stage directives, then lowers to a partition.
+
+    Stages are the pipeline's logical stages (``program.stages``); the
+    last stage is implicitly ``compute_root``.  Every stage must end up
+    either rooted (its own loop nest) or computed at a rooted consumer
+    (fused into that consumer's tiles); unscheduled stages are inlined
+    into their nearest rooted consumer, like Halide's default.
+    """
+
+    def __init__(self, program: Program):
+        if not hasattr(program, "stages"):
+            raise HalideScheduleError(
+                "program has no stage structure (build it with ImagePipeline)"
+            )
+        self.program = program
+        self.stage_names: List[str] = [
+            self._stage_label(stage) for stage in program.stages  # type: ignore[attr-defined]
+        ]
+        self._by_label: Dict[str, List[str]] = {
+            self._stage_label(stage): list(stage)
+            for stage in program.stages  # type: ignore[attr-defined]
+        }
+        self._schedules: Dict[str, _StageSchedule] = {
+            name: _StageSchedule(name) for name in self.stage_names
+        }
+        # output stage is always materialised
+        self._schedules[self.stage_names[-1]].placement = "root"
+
+    @staticmethod
+    def _stage_label(stage: Sequence[str]) -> str:
+        return stage[0]
+
+    # -- directives ---------------------------------------------------------
+
+    def compute_root(self, stage: str) -> "HalideSchedule":
+        self._stage(stage).placement = "root"
+        self._stage(stage).anchor = None
+        return self
+
+    def compute_at(self, stage: str, consumer: str) -> "HalideSchedule":
+        if consumer not in self._schedules:
+            raise HalideScheduleError(f"unknown consumer stage {consumer!r}")
+        s = self._stage(stage)
+        s.placement = "at"
+        s.anchor = consumer
+        return self
+
+    def _stage(self, name: str) -> _StageSchedule:
+        if name not in self._schedules:
+            raise HalideScheduleError(
+                f"unknown stage {name!r}; stages: {self.stage_names}"
+            )
+        return self._schedules[name]
+
+    # -- lowering -------------------------------------------------------------
+
+    def partition(self) -> List[List[str]]:
+        """Resolve directives into a statement partition (fusion groups)."""
+        roots = [n for n in self.stage_names if self._schedules[n].placement == "root"]
+        if not roots:
+            raise HalideScheduleError("no compute_root stage")
+
+        # Resolve each stage to the root it lives under.
+        home: Dict[str, str] = {}
+        for name in self.stage_names:
+            sched = self._schedules[name]
+            if sched.placement == "root":
+                home[name] = name
+            elif sched.placement == "at":
+                anchor = sched.anchor
+                seen = {name}
+                while anchor is not None and self._schedules[anchor].placement == "at":
+                    if anchor in seen:
+                        raise HalideScheduleError(
+                            f"compute_at cycle through {anchor!r}"
+                        )
+                    seen.add(anchor)
+                    anchor = self._schedules[anchor].anchor
+                if anchor is None or self._schedules[anchor].placement != "root":
+                    raise HalideScheduleError(
+                        f"stage {name!r} computed at a non-rooted stage"
+                    )
+                home[name] = anchor
+        # Inlined stages follow their nearest rooted consumer (the next
+        # rooted stage in pipeline order, Halide's effective default).
+        for i, name in enumerate(self.stage_names):
+            if name in home:
+                continue
+            for later in self.stage_names[i + 1 :]:
+                if later in home and home[later] == later:
+                    home[name] = later
+                    break
+            else:
+                home[name] = self.stage_names[-1]
+
+        groups: Dict[str, List[str]] = {r: [] for r in roots}
+        for name in self.stage_names:
+            groups[home[name]].extend(self._by_label[name])
+        # Preserve pipeline order of the groups (by their root position).
+        ordered = sorted(groups, key=self.stage_names.index)
+        return [groups[r] for r in ordered if groups[r]]
+
+    def lower(
+        self,
+        tile_sizes: Optional[Sequence[int]],
+        target: TargetSpec = CPU,
+    ) -> PartitionedResult:
+        """Tile + fuse per the schedule, via the paper's own machinery."""
+        return partitioned_result(
+            self.program, self.partition(), tile_sizes, target
+        )

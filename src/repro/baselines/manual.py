@@ -1,0 +1,147 @@
+"""Manual / partition-driven schedules (Halide baselines, PolyMage, equake).
+
+Two levels of fidelity:
+
+* :func:`scheduled_from_partition` — a :class:`Scheduled` whose fusion
+  groups are given explicitly (used for the PPCG heuristic groupings the
+  paper reports for equake, and any grouping that fuses without
+  recomputation);
+* :func:`partitioned_result` — runs the paper's own tiling/extension
+  machinery *within* each given partition group (live-out stage of the
+  group tiled, other stages pulled in as extension schedules).  This
+  models Halide's ``compute_at`` and PolyMage's overlapped tiling: fused
+  groups recompute halos, but the *grouping* is fixed by the schedule
+  author instead of being derived from the data space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core import MixedSchedules, TargetSpec, construct_tile_shapes
+from ..core.tile_shapes import CPU
+from ..deps import memory_deps
+from ..ir import Program
+from ..presburger import LinExpr
+from ..scheduler import FusionGroup, Scheduled, groups_tree, identity_rows
+from ..scheduler.parallelism import band_attributes
+
+
+def make_group(
+    program: Program, deps, statements: Sequence[str], name: str
+) -> FusionGroup:
+    depth = min(len(program.statement(s).dims) for s in statements)
+    rows = {
+        s: identity_rows(program.statement(s).dims, depth) for s in statements
+    }
+    coincident, permutable = band_attributes(
+        deps, list(statements), rows, depth, program.params
+    )
+    return FusionGroup(
+        name=name,
+        statements=sorted(statements, key=program.statement_index),
+        depth=depth,
+        rows=rows,
+        coincident=coincident,
+        permutable=permutable,
+    )
+
+
+def scheduled_from_partition(
+    program: Program, partition: Sequence[Sequence[str]]
+) -> Scheduled:
+    """A Scheduled whose groups are exactly the given statement partition."""
+    _check_partition(program, partition)
+    deps = memory_deps(program)
+    groups = [
+        make_group(program, deps, part, f"M{i}")
+        for i, part in enumerate(partition)
+    ]
+    tree = groups_tree(program, groups)
+    return Scheduled(program, "manual", groups, deps, tree)
+
+
+@dataclass
+class PartitionedResult:
+    """Duck-types OptimizeResult for the analyzers (program + mixed)."""
+
+    program: Program
+    mixed: MixedSchedules
+    scheduled: Scheduled
+
+
+def partitioned_result(
+    program: Program,
+    partition: Sequence[Sequence[str]],
+    tile_sizes: Optional[Sequence[int]],
+    target: TargetSpec = CPU,
+) -> PartitionedResult:
+    """Tile + fuse within each partition group using the paper's machinery.
+
+    Within a group, the stage producing data consumed outside the group
+    (or live-out) is the tiled space; the remaining stages become extension
+    schedules, recomputing their per-tile footprints — Halide's
+    ``compute_at`` semantics under a fixed grouping.
+    """
+    _check_partition(program, partition)
+    deps = memory_deps(program)
+    # Build one group per *statement* so Algorithm 1 sees separated
+    # computation spaces inside each partition group.
+    singleton: Dict[str, FusionGroup] = {}
+    counter = 0
+    mixed = MixedSchedules()
+    all_groups: List[FusionGroup] = []
+    for part in partition:
+        part_groups = []
+        for s in part:
+            g = make_group(program, deps, [s], f"M{counter}")
+            counter += 1
+            singleton[s] = g
+            part_groups.append(g)
+        all_groups.extend(part_groups)
+        liveout_g = _group_liveout(program, part, part_groups)
+        inters = [g for g in part_groups if g is not liveout_g]
+        inters.reverse()  # nearest producer first (program order reversed)
+        sub = construct_tile_shapes(program, liveout_g, inters, tile_sizes, target)
+        mixed.entries.extend(sub.entries)
+    scheduled = Scheduled(
+        program, "manual", all_groups, deps, groups_tree(program, all_groups)
+    )
+    return PartitionedResult(program, mixed, scheduled)
+
+
+def _group_liveout(
+    program: Program, part: Sequence[str], part_groups: Sequence[FusionGroup]
+) -> FusionGroup:
+    """The stage of the partition group whose output escapes the group."""
+    part_set = set(part)
+    escaping = []
+    for g in part_groups:
+        (s,) = g.statements
+        tensor = program.statement(s).tensor_written()
+        if tensor in program.liveout:
+            escaping.append(g)
+            continue
+        readers = {r.name for r in program.readers_of(tensor)}
+        if readers - part_set:
+            escaping.append(g)
+    if not escaping:
+        return part_groups[-1]
+    # The last escaping stage anchors the tiling; earlier escaping stages
+    # will simply not be fused (their footprints are not tracked).
+    return escaping[-1]
+
+
+def _check_partition(program: Program, partition: Sequence[Sequence[str]]) -> None:
+    seen: List[str] = []
+    for part in partition:
+        seen.extend(part)
+    names = list(program.statement_names)
+    if sorted(seen) != sorted(names):
+        missing = set(names) - set(seen)
+        extra = set(seen) - set(names)
+        raise ValueError(
+            f"partition does not cover the program exactly "
+            f"(missing={sorted(missing)}, unknown={sorted(extra)})"
+        )

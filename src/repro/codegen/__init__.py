@@ -1,0 +1,28 @@
+"""``repro.codegen`` — executable and printing backends for schedule trees."""
+
+from .interp import (
+    ExecutionError,
+    Stream,
+    build_streams,
+    execute_naive,
+    execute_tree,
+    make_store,
+    run_program,
+)
+from .printer import print_tree, render_linexpr
+from .promotion import PromotedBuffer, promoted_buffers, total_scratch_bytes
+
+__all__ = [
+    "ExecutionError",
+    "PromotedBuffer",
+    "Stream",
+    "build_streams",
+    "execute_naive",
+    "execute_tree",
+    "make_store",
+    "print_tree",
+    "promoted_buffers",
+    "render_linexpr",
+    "run_program",
+    "total_scratch_bytes",
+]

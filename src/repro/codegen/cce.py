@@ -1,0 +1,239 @@
+"""CCE-style lowering for the DaVinci architecture (Section V-A).
+
+The akg integration lowers a fused operator pair onto the Ascend 910 by
+assigning every tensor a position in the on-chip memory hierarchy of
+Fig. 7 (L1 buffer, the cube unit's L0A/L0B/L0C, the vector unit's Unified
+Buffer) and emitting per-tile DMA + compute instructions.  This module
+reproduces that lowering for the programs ``repro.core.optimize`` emits
+with ``target="npu"``:
+
+* reduction statements whose right-hand side is a product feed the **Cube
+  unit**: their two operands are staged ``GM -> L1 -> L0A/L0B`` and the
+  accumulator lives in **L0C**;
+* all other statements run on the **Vector unit** over the **UB**;
+* a tensor produced by the cube and consumed by vector ops moves
+  ``L0C -> UB`` *on chip* when the pair is fused — the paper's Table III
+  effect — and spills through global memory when it is not;
+* buffer capacities are checked against the :class:`NPUSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import OptimizeResult, TILE_TUPLE
+from ..ir import BinOp, Load, Program, REDUCE, Statement
+from ..machine.npu import DEFAULT_NPU, NPUSpec
+from .promotion import promoted_buffers
+
+GM = "GM"
+L1 = "L1"
+L0A = "L0A"
+L0B = "L0B"
+L0C = "L0C"
+UB = "UB"
+
+MEMORIES = (GM, L1, L0A, L0B, L0C, UB)
+
+
+class CCELoweringError(RuntimeError):
+    pass
+
+
+@dataclass
+class BufferAssignment:
+    tensor: str
+    memory: str
+    bytes_per_tile: int
+    role: str  # "cube-in-a", "cube-in-b", "cube-acc", "vector", "output"
+
+
+@dataclass
+class CCEInstruction:
+    unit: str       # "MTE" (dma), "CUBE", "VECTOR"
+    text: str
+
+
+@dataclass
+class CCEKernel:
+    name: str
+    buffers: List[BufferAssignment]
+    instructions: List[CCEInstruction]
+    onchip_forward: List[str]  # tensors forwarded L0C -> UB without GM
+
+    def render(self) -> str:
+        lines = [f"// CCE kernel {self.name} (DaVinci)"]
+        for b in self.buffers:
+            lines.append(
+                f"//   {b.tensor:12s} -> {b.memory:3s} "
+                f"({b.bytes_per_tile} B/tile, {b.role})"
+            )
+        for ins in self.instructions:
+            lines.append(f"  [{ins.unit:6s}] {ins.text}")
+        return "\n".join(lines)
+
+
+def _is_cube_statement(stmt: Statement) -> bool:
+    """A reduction whose rhs multiplies two tensor operands (conv/matmul)."""
+    if stmt.kind != REDUCE:
+        return False
+    rhs = stmt.rhs
+    return isinstance(rhs, BinOp) and rhs.op == "*" and all(
+        any(True for _ in side.loads()) for side in (rhs.lhs, rhs.rhs)
+    )
+
+
+def lower_to_cce(
+    result: OptimizeResult,
+    spec: NPUSpec = DEFAULT_NPU,
+    params: Optional[Mapping[str, int]] = None,
+) -> List[CCEKernel]:
+    """Lower each fusion cluster of an NPU-optimized result to pseudo-CCE."""
+    program = result.program
+    params = dict(program.params, **(params or {}))
+    buffers_by_cluster = promoted_buffers(result, params)
+    kernels: List[CCEKernel] = []
+    for ki, entry in enumerate(result.mixed.tiling_entries()):
+        group = entry.group
+        exts = result.mixed.extensions_of(group)
+        cluster_stmts = [
+            program.statement(s)
+            for e in exts
+            for s in sorted(e.group.statements, key=program.statement_index)
+        ] + [
+            program.statement(s)
+            for s in sorted(group.statements, key=program.statement_index)
+        ]
+        kernels.append(
+            _lower_cluster(
+                f"cce_kernel{ki}",
+                program,
+                cluster_stmts,
+                buffers_by_cluster.get(group.name, []),
+                entry.tile_sizes,
+                spec,
+                params,
+            )
+        )
+    return kernels
+
+
+def _lower_cluster(
+    name: str,
+    program: Program,
+    stmts: Sequence[Statement],
+    promoted,
+    tile_sizes,
+    spec: NPUSpec,
+    params,
+) -> CCEKernel:
+    promoted_names = {b.tensor for b in promoted}
+    promoted_bytes = {b.tensor: b.box_elems * 2 for b in promoted}  # fp16
+    cluster_names = {s.name for s in stmts}
+    written = {s.tensor_written() for s in stmts}
+
+    assignments: Dict[str, BufferAssignment] = {}
+    instructions: List[CCEInstruction] = []
+    onchip: List[str] = []
+
+    def tile_bytes(tensor: str) -> int:
+        if tensor in promoted_bytes:
+            return promoted_bytes[tensor]
+        t = program.tensors[tensor]
+        if tile_sizes:
+            total = 1
+            shape = t.concrete_shape(params)
+            for d, extent in enumerate(shape):
+                total *= min(extent, tile_sizes[d] if d < len(tile_sizes) else extent)
+            return total * 2
+        return t.size_bytes(params) // 4  # fp16 vs fp64 storage
+
+    cube_written: set = set()
+    for stmt in stmts:
+        if _is_cube_statement(stmt):
+            rhs = stmt.rhs
+            a_loads = list(rhs.lhs.loads())
+            b_loads = list(rhs.rhs.loads())
+            a, b = a_loads[0].tensor, b_loads[0].tensor
+            acc = stmt.tensor_written()
+            for tensor, mem, role in (
+                (a, L0A, "cube-in-a"),
+                (b, L0B, "cube-in-b"),
+                (acc, L0C, "cube-acc"),
+            ):
+                # The accumulator wins L0C even if an earlier init
+                # statement provisionally placed it on the UB.
+                assignments[tensor] = BufferAssignment(
+                    tensor, mem, tile_bytes(tensor), role
+                )
+            instructions.append(
+                CCEInstruction("MTE", f"load {a}: GM -> L1 -> L0A")
+            )
+            instructions.append(
+                CCEInstruction("MTE", f"load {b}: GM -> L1 -> L0B")
+            )
+            instructions.append(
+                CCEInstruction(
+                    "CUBE", f"mmad {acc} += {a} * {b}   // accumulate in L0C"
+                )
+            )
+            cube_written.add(acc)
+        else:
+            out = stmt.tensor_written()
+            reads = [l.tensor for l in stmt.read_loads()]
+            for tensor in reads:
+                if tensor in cube_written:
+                    assignments.setdefault(
+                        out, BufferAssignment(out, UB, tile_bytes(out), "vector")
+                    )
+                    if tensor not in onchip:
+                        instructions.append(
+                            CCEInstruction(
+                                "MTE", f"move {tensor}: L0C -> UB   // fused, on chip"
+                            )
+                        )
+                        onchip.append(tensor)
+                elif tensor not in assignments and tensor not in written:
+                    assignments[tensor] = BufferAssignment(
+                        tensor, UB, tile_bytes(tensor), "vector"
+                    )
+                    instructions.append(
+                        CCEInstruction("MTE", f"load {tensor}: GM -> UB")
+                    )
+            assignments.setdefault(
+                out, BufferAssignment(out, UB, tile_bytes(out), "vector")
+            )
+            instructions.append(
+                CCEInstruction("VECTOR", f"{stmt.name}: {stmt.lhs} = {stmt.rhs}")
+            )
+
+    # Live-out tensors leave the chip.
+    for tensor in written:
+        if tensor in program.liveout:
+            asn = assignments.get(tensor)
+            if asn is not None:
+                asn.role = "output"
+            instructions.append(
+                CCEInstruction("MTE", f"store {tensor}: {asn.memory if asn else UB} -> GM")
+            )
+
+    _check_capacities(assignments, spec)
+    return CCEKernel(name, list(assignments.values()), instructions, onchip)
+
+
+def _check_capacities(
+    assignments: Mapping[str, BufferAssignment], spec: NPUSpec
+) -> None:
+    usage: Dict[str, int] = {m: 0 for m in MEMORIES}
+    for asn in assignments.values():
+        usage[asn.memory] += asn.bytes_per_tile
+    if usage[UB] > spec.ub_bytes:
+        raise CCELoweringError(
+            f"unified buffer oversubscribed: {usage[UB]} > {spec.ub_bytes} "
+            "(reduce the tile size)"
+        )
+    if usage[L1] > spec.l1_bytes:
+        raise CCELoweringError(
+            f"L1 oversubscribed: {usage[L1]} > {spec.l1_bytes}"
+        )

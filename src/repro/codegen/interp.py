@@ -1,0 +1,324 @@
+"""Executable backend: interprets schedule trees over NumPy tensors.
+
+The interpreter flattens the tree into per-statement *streams*.  A stream is
+an augmented integer set over ``(key dims..., statement dims...)``:
+
+* every band dimension along the statement's path contributes a key dim
+  (constrained ``k == row`` for point bands, ``k <= row < k + T`` with
+  ``k`` stepping over tile origins for tile bands);
+* sequence nodes contribute constant key components;
+* extension nodes contribute the extension relation's constraints, so an
+  added statement's instances are exactly the per-tile images of relation
+  (6), recomputation included.
+
+Executing the program is then: enumerate every stream, tag each instance
+with its key, sort, and run the statement bodies in key order.  This is
+semantically the code PPCG would emit from the same tree — loops are just
+an ordering device — and is what the correctness tests compare against the
+naive program order.
+
+Re-executed (overlapped) instances run against the same storage; the
+supported workloads are out-of-place or idempotent per instance, which the
+paper's overlapped tiling requires anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..ir import Program, REDUCE, Statement, TensorStore
+from ..presburger import Constraint, LinExpr
+from ..presburger.fm import bounds_for_symbol, eliminate_symbols
+from ..schedule import (
+    BandNode,
+    DomainNode,
+    ExtensionNode,
+    FilterNode,
+    LeafNode,
+    MarkNode,
+    Node,
+    SequenceNode,
+    SKIPPED,
+)
+
+KeyComponent = Tuple[str, object]  # ("const", int) or ("dim", aug_dim_name)
+
+# Per-statement state while walking: a list of disjuncts, each a conjunction.
+Disjuncts = List[List[Constraint]]
+
+
+@dataclass
+class Stream:
+    """One statement's augmented instance set along one tree path."""
+
+    stmt: Statement
+    constraints: List[Constraint]
+    key_template: List[KeyComponent]
+    aug_dims: List[str]           # key dims, in template order
+    steps: Dict[str, int]         # aug dim -> iteration step (tile size)
+
+    def all_dims(self) -> List[str]:
+        return self.aug_dims + list(self.stmt.dims)
+
+
+class ExecutionError(RuntimeError):
+    pass
+
+
+def build_streams(
+    tree: DomainNode, program: Program, params: Mapping[str, int]
+) -> List[Stream]:
+    streams: List[Stream] = []
+    counter = [0]
+
+    def fresh(name: str) -> str:
+        counter[0] += 1
+        return f"__k{counter[0]}_{name}"
+
+    def visit(
+        node: Optional[Node],
+        active: Dict[str, Disjuncts],
+        template: List[KeyComponent],
+        aug: List[str],
+        steps: Dict[str, int],
+        band_dim_to_aug: Dict[str, str],
+    ) -> None:
+        if node is None or isinstance(node, LeafNode):
+            for sname, disjuncts in active.items():
+                for cons in disjuncts:
+                    streams.append(
+                        Stream(
+                            program.statement(sname),
+                            list(cons),
+                            list(template),
+                            list(aug),
+                            dict(steps),
+                        )
+                    )
+            return
+        if isinstance(node, MarkNode):
+            if node.mark == SKIPPED:
+                return
+            visit(node.child, active, template, aug, steps, band_dim_to_aug)
+            return
+        if isinstance(node, FilterNode):
+            sub = {s: c for s, c in active.items() if s in node.statements}
+            if sub:
+                visit(node.child, sub, template, aug, steps, band_dim_to_aug)
+            return
+        if isinstance(node, SequenceNode):
+            for i, filt in enumerate(node.filters):
+                visit(
+                    filt,
+                    active,
+                    template + [("const", i)],
+                    aug,
+                    steps,
+                    band_dim_to_aug,
+                )
+            return
+        if isinstance(node, BandNode):
+            new_active = {s: [list(c) for c in d] for s, d in active.items()}
+            new_template = list(template)
+            new_aug = list(aug)
+            new_steps = dict(steps)
+            new_map = dict(band_dim_to_aug)
+            for d in range(node.n_dims):
+                k = fresh(node.dim_names[d])
+                new_map[node.dim_names[d]] = k
+                new_template.append(("dim", k))
+                new_aug.append(k)
+                size = None if node.tile_sizes is None else node.tile_sizes[d]
+                if size is not None:
+                    new_steps[k] = size
+                kv = LinExpr.var(k)
+                for sname, disjuncts in new_active.items():
+                    if sname not in node.schedules:
+                        continue
+                    row = node.schedules[sname][d]
+                    for cons in disjuncts:
+                        if size is None:
+                            cons.append(Constraint.eq(kv - row))
+                        else:
+                            cons.append(Constraint.le(kv, row))
+                            cons.append(Constraint.lt(row, kv + size))
+            visit(node.child, new_active, new_template, new_aug, new_steps, new_map)
+            return
+        if isinstance(node, ExtensionNode):
+            new_active = {s: [list(c) for c in d] for s, d in active.items()}
+            for (_, sname), m in node.extension.maps.items():
+                stmt = program.statement(sname)
+                disjuncts: Disjuncts = []
+                for bm in m.fix_params(params).pieces:
+                    rename = {}
+                    for in_dim in bm.space.in_dims:
+                        if in_dim not in band_dim_to_aug:
+                            raise ExecutionError(
+                                f"extension tile dim {in_dim!r} does not match "
+                                f"any enclosing band dim ({list(band_dim_to_aug)})"
+                            )
+                        rename[in_dim] = band_dim_to_aug[in_dim]
+                    rename.update(zip(bm.space.out_dims, stmt.dims))
+                    disjuncts.append([c.rename(rename) for c in bm.constraints])
+                new_active[sname] = disjuncts
+            visit(node.child, new_active, template, aug, steps, band_dim_to_aug)
+            return
+        if isinstance(node, DomainNode):
+            base: Dict[str, Disjuncts] = {}
+            for s in node.domain.names():
+                stmt = program.statement(s)
+                dom = stmt.domain.fix_params(params)
+                base[s] = [list(p.constraints) for p in dom.pieces]
+            visit(node.child, base, template, aug, steps, band_dim_to_aug)
+            return
+        raise ExecutionError(f"unknown node type {type(node).__name__}")
+
+    visit(tree, {}, [], [], {}, {})
+    return streams
+
+
+def _enumerate_stream(stream: Stream) -> Iterator[Tuple[tuple, Dict[str, int]]]:
+    """Yield ``(key, env)`` for every instance of the stream, in lex order."""
+    dims = stream.all_dims()
+    cons = stream.constraints
+    # Elimination tower: towers[i] involves dims[:i] only.
+    towers: List[List[Constraint]] = [None] * (len(dims) + 1)  # type: ignore
+    towers[len(dims)] = list(cons)
+    for i in range(len(dims) - 1, -1, -1):
+        towers[i] = eliminate_symbols(towers[i + 1], [dims[i]])
+    for c in towers[0]:
+        if c.is_trivially_false():
+            return
+
+    binding: Dict[str, int] = {}
+    n_aug = len(stream.aug_dims)
+
+    def key_of() -> tuple:
+        out = []
+        for kind, val in stream.key_template:
+            if kind == "const":
+                out.append(val)
+            else:
+                out.append(binding[val])
+        return tuple(out)
+
+    def walk(i: int) -> Iterator[Tuple[tuple, Dict[str, int]]]:
+        if i == len(dims):
+            if all(c.satisfied_by(binding) for c in cons):
+                env = {d: binding[d] for d in stream.stmt.dims}
+                yield key_of(), env
+            return
+        dim = dims[i]
+        lo, hi, _ = bounds_for_symbol(towers[i + 1], dim, binding)
+        if lo is None or hi is None:
+            raise ExecutionError(
+                f"unbounded dimension {dim} while executing {stream.stmt.name}"
+            )
+        step = stream.steps.get(dim, 1) if i < n_aug else 1
+        if step != 1:
+            lo = (lo // step) * step  # align tile origins to the global grid
+        for val in range(lo, hi + 1, step):
+            binding[dim] = val
+            yield from walk(i + 1)
+        binding.pop(dim, None)
+
+    yield from walk(0)
+
+
+def execute_tree(
+    tree: DomainNode,
+    program: Program,
+    store: TensorStore,
+    params: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Execute a schedule tree; returns per-statement executed-instance counts.
+
+    Counts include recomputation (overlapped tiles), which tests use to
+    verify the footprint arithmetic.
+    """
+    params = dict(program.params, **(params or {}))
+    streams = build_streams(tree, program, params)
+    events: List[Tuple[tuple, int, Statement, Dict[str, int]]] = []
+    for si, stream in enumerate(streams):
+        for key, env in _enumerate_stream(stream):
+            events.append((key, si, stream.stmt, env))
+    events.sort(key=lambda e: (e[0], e[1]))
+    counts: Dict[str, int] = {}
+    seen_at_key: set = set()
+    for key, _si, stmt, env in events:
+        # Overlapping extension pieces may cover an instance more than once
+        # under the same tile; execute it once per schedule-key context
+        # (matching what generated code with a unioned iteration set does).
+        fingerprint = (key, stmt.name, tuple(env[d] for d in stmt.dims))
+        if fingerprint in seen_at_key:
+            continue
+        seen_at_key.add(fingerprint)
+        _run_instance(stmt, env, store)
+        counts[stmt.name] = counts.get(stmt.name, 0) + 1
+    return counts
+
+
+def _run_instance(stmt: Statement, env: Mapping[str, int], store: TensorStore) -> None:
+    value = stmt.rhs.evaluate(env, store)
+    idx = tuple(e.eval(env) for e in stmt.lhs.indices)
+    if stmt.kind == REDUCE:
+        store.accumulate(stmt.lhs.tensor, idx, value)
+    else:
+        store.write(stmt.lhs.tensor, idx, value)
+
+
+def execute_naive(
+    program: Program,
+    store: TensorStore,
+    params: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Reference execution in original program order (the 'naive' code)."""
+    from ..presburger.enumerate import enumerate_set_points
+
+    params = dict(program.params, **(params or {}))
+    counts: Dict[str, int] = {}
+    for stmt in program.statements:
+        n = 0
+        for env in enumerate_set_points(stmt.domain, params):
+            _run_instance(stmt, env, store)
+            n += 1
+        counts[stmt.name] = n
+    return counts
+
+
+def make_store(
+    program: Program,
+    params: Optional[Mapping[str, int]] = None,
+    seed: int = 0,
+) -> TensorStore:
+    """A store with deterministic contents for inputs and in-place tensors."""
+    params = dict(program.params, **(params or {}))
+    store = TensorStore(program.tensors, params)
+    rng = np.random.default_rng(seed)
+    for name in program.input_tensors():
+        store.set_input(name, rng.uniform(0.1, 1.0, size=store[name].shape))
+    # In-place pipelines (conv2d's quantisation) read tensors they also
+    # write; give those deterministic initial contents too.
+    written = {s.tensor_written() for s in program.statements}
+    read = {t for s in program.statements for t in s.tensors_read()}
+    for name in sorted((written & read) - set(program.input_tensors())):
+        stable = sum(ord(c) for c in name)  # hash() is salted per process
+        rng2 = np.random.default_rng(seed + stable)
+        store.set_input(name, rng2.uniform(0.1, 1.0, size=store[name].shape))
+    return store
+
+
+def run_program(
+    program: Program,
+    tree: DomainNode,
+    params: Optional[Mapping[str, int]] = None,
+    seed: int = 0,
+) -> Tuple[TensorStore, Dict[str, int]]:
+    """Convenience: build a deterministic store and execute the tree."""
+    params = dict(program.params, **(params or {}))
+    store = make_store(program, params, seed)
+    counts = execute_tree(tree, program, store, params)
+    return store, counts

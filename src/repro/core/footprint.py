@@ -1,0 +1,219 @@
+"""Per-tile memory footprints — relation (4) of the paper.
+
+Tiles are identified by *origin coordinates*: the tile with origin
+``(t0, t1)`` covers the points ``t_d <= row_d(i) < t_d + T_d`` of its
+band rows.  Composing the inverse of the tile-assignment relation (2) with
+an access relation (3) yields the footprint relation (4):
+
+    { (t0, t1) -> A[a] : the tile at origin (t0, t1) touches A[a] }
+
+which naturally expresses *overlapping* footprints between consecutive
+tiles (the stencil halo).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir import Program
+from ..presburger import (
+    BasicMap,
+    Constraint,
+    LinExpr,
+    Map,
+    MapSpace,
+    UnionMap,
+    fresh_names,
+)
+from ..scheduler import FusionGroup
+
+TILE_TUPLE = "_tile"
+
+
+def tile_dim_names(group: FusionGroup, n: int) -> Tuple[str, ...]:
+    return tuple(f"{group.name}_o{d}" for d in range(n))
+
+
+def tile_to_instances(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence,
+    tile_dims: Optional[Sequence[str]] = None,
+) -> UnionMap:
+    """Relation (2) reversed: ``{ (t) -> S[i] : i lands in the tile at t }``.
+
+    One map per statement of the group.  ``tile_sizes`` tiles the leading
+    band dimensions; statements are constrained to their domains.
+
+    Tile sizes may be integers or *parameter names* (strings): with
+    tile-origin coordinates the containment constraint ``t <= row < t + T``
+    stays affine for symbolic ``T``, which is how the paper's akg
+    integration handles parametric tile sizes (Section V-A).
+    """
+    n = len(tile_sizes)
+    if n == 0 or n > group.depth:
+        raise ValueError(
+            f"{len(tile_sizes)} tile sizes for a depth-{group.depth} group"
+        )
+    tdims = tuple(tile_dims) if tile_dims is not None else tile_dim_names(group, n)
+    size_params = tuple(
+        s for s in tile_sizes if isinstance(s, str)
+    )
+    maps: List[Map] = []
+    for s in group.statements:
+        stmt = program.statement(s)
+        rows = group.rows[s]
+        pieces = []
+        params = tuple(dict.fromkeys(stmt.params + size_params))
+        space = MapSpace(TILE_TUPLE, tdims, s, stmt.dims, params)
+        for dpiece in stmt.domain.pieces:
+            cons: List[Constraint] = list(dpiece.constraints)
+            for d in range(n):
+                t = LinExpr.var(tdims[d])
+                row = rows[d]
+                size = tile_sizes[d]
+                size_expr = (
+                    LinExpr.var(size) if isinstance(size, str) else LinExpr.const_expr(size)
+                )
+                cons.append(Constraint.le(t, row))
+                cons.append(Constraint.lt(row, t + size_expr))
+            pieces.append(BasicMap(space, cons))
+        maps.append(Map(space, pieces))
+    return UnionMap(maps)
+
+
+def tile_footprint(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence[int],
+    tensors: Sequence[str],
+    tile_dims: Optional[Sequence[str]] = None,
+) -> UnionMap:
+    """Relation (4): ``{ (t) -> T[a] : tile t reads element a of T }``.
+
+    Only reads of the listed ``tensors`` (the upwards-exposed data) are
+    included; results are keyed ``(TILE_TUPLE, tensor)``.
+    """
+    t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
+    out: Dict[str, Map] = {}
+    for s in group.statements:
+        stmt = program.statement(s)
+        reads = stmt.read_relations()
+        inst = t2i.get((TILE_TUPLE, s))
+        if inst is None:
+            continue
+        for (_, tensor), access in reads.maps.items():
+            if tensor not in tensors:
+                continue
+            fp = inst.apply_range(access)
+            if fp.is_empty():
+                continue
+            if tensor in out:
+                prev = out[tensor]
+                rename = dict(zip(fp.space.out_dims, prev.space.out_dims))
+                rename.update(zip(fp.space.in_dims, prev.space.in_dims))
+                out[tensor] = prev.union(fp.rename_dims(rename))
+            else:
+                out[tensor] = fp
+    return UnionMap(list(out.values()))
+
+
+def footprint_size(
+    fp: Map, tile_origin: Mapping[str, int], params: Mapping[str, int]
+) -> int:
+    """Exact number of elements a concrete tile touches."""
+    return fp.fix_params(params).image_of_point(tile_origin).count_points()
+
+
+def band_extents(
+    program: Program, group: FusionGroup, params: Mapping[str, int]
+) -> List[int]:
+    """Extent of each outer band dimension over the group's statements."""
+    extents = [0] * group.depth
+    for s in group.statements:
+        stmt = program.statement(s)
+        box: Dict[str, Tuple[int, int]] = {}
+        for piece in stmt.domain.fix_params(params).pieces:
+            for dim, (lo, hi) in piece.bounding_box().items():
+                if dim in box:
+                    olo, ohi = box[dim]
+                    box[dim] = (min(lo, olo), max(hi, ohi))
+                else:
+                    box[dim] = (lo, hi)
+        for d in range(group.depth):
+            row = group.rows[s][d]
+            lo = hi = row.const
+            for sym, c in row.coeffs.items():
+                slo, shi = box.get(sym, (0, 0))
+                if slo is None or shi is None:
+                    raise ValueError(f"unbounded band row {row} in {group.name}")
+                lo += c * (slo if c > 0 else shi)
+                hi += c * (shi if c > 0 else slo)
+            extents[d] = max(extents[d], hi - lo + 1)
+    return extents
+
+
+def interior_tile_origin(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence[int],
+    tile_dims: Sequence[str],
+    params: Mapping[str, int],
+) -> Dict[str, int]:
+    """An aligned tile origin near the middle of the band (representative
+    of interior tiles for footprint/recompute estimation)."""
+    origin: Dict[str, int] = {}
+    stmt = program.statement(group.statements[0])
+    dom = stmt.domain.fix_params(params)
+    box = dom.bounding_box()
+    for d, (tdim, size) in enumerate(zip(tile_dims, tile_sizes)):
+        row = group.rows[stmt.name][d]
+        lo = hi = row.const
+        for sym, c in row.coeffs.items():
+            slo, shi = box.get(sym, (0, 0))
+            if slo is None or shi is None:
+                raise ValueError(f"unbounded row {row} in group {group.name}")
+            lo += c * (slo if c > 0 else shi)
+            hi += c * (shi if c > 0 else slo)
+        mid = (lo + hi) // 2
+        aligned = (mid // size) * size
+        aligned = max((lo // size) * size, min(aligned, (hi // size) * size))
+        origin[tdim] = aligned
+    return origin
+
+
+def tile_count(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence[int],
+    params: Mapping[str, int],
+) -> int:
+    """Number of tiles the tiling schedule produces (ceil per dimension)."""
+    extents = band_extents(program, group, params)
+    total = 1
+    for d, size in enumerate(tile_sizes):
+        total *= -(-extents[d] // size)
+    return total
+
+
+def write_footprint(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence[int],
+    tensors: Sequence[str],
+    tile_dims: Optional[Sequence[str]] = None,
+) -> UnionMap:
+    """Like :func:`tile_footprint` but for writes (used for store traffic)."""
+    t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
+    out: List[Map] = []
+    for s in group.statements:
+        stmt = program.statement(s)
+        if stmt.tensor_written() not in tensors:
+            continue
+        inst = t2i.get((TILE_TUPLE, s))
+        if inst is None:
+            continue
+        fp = inst.apply_range(stmt.write_relation())
+        if not fp.is_empty():
+            out.append(fp)
+    return UnionMap(out)

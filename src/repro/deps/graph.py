@@ -1,0 +1,79 @@
+"""Dependence-graph utilities: NetworkX views and Graphviz export.
+
+The statement-level flow graph drives the fusion heuristics; exposing it
+as a ``networkx.DiGraph`` makes the pipeline structure scriptable (level
+computations, critical paths, visual dumps of why a grouping happened).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from ..ir import Program
+from .analysis import Dependence, memory_deps
+
+
+def dependence_graph(
+    program: Program, kinds: Sequence[str] = ("flow",)
+) -> "nx.MultiDiGraph":
+    """Statement-level dependence graph (parallel edges keep their tensor)."""
+    g = nx.MultiDiGraph()
+    for stmt in program.statements:
+        g.add_node(
+            stmt.name,
+            tensor=stmt.tensor_written(),
+            dims=len(stmt.dims),
+            kind=stmt.kind,
+        )
+    for dep in memory_deps(program, kinds=kinds):
+        if dep.source == dep.target:
+            continue
+        g.add_edge(dep.source, dep.target, tensor=dep.tensor, kind=dep.kind)
+    return g
+
+
+def stage_levels(program: Program) -> Dict[str, int]:
+    """Longest-path depth of each statement in the flow graph."""
+    g = dependence_graph(program)
+    levels: Dict[str, int] = {}
+    for name in nx.topological_sort(g):
+        preds = [levels[p] for p in g.predecessors(name)]
+        levels[name] = (max(preds) + 1) if preds else 0
+    return levels
+
+
+def critical_path(program: Program) -> List[str]:
+    """A longest producer-consumer chain (the fusion-depth stress)."""
+    g = dependence_graph(program)
+    return nx.dag_longest_path(g)
+
+
+def to_dot(
+    program: Program,
+    clusters: Optional[Sequence[Sequence[str]]] = None,
+    kinds: Sequence[str] = ("flow",),
+) -> str:
+    """Graphviz text; ``clusters`` (fusion result) render as subgraphs."""
+    g = dependence_graph(program, kinds)
+    lines = [f'digraph "{program.name}" {{', "  rankdir=TB;", "  node [shape=box];"]
+    clustered = set()
+    if clusters:
+        for ci, cluster in enumerate(clusters):
+            lines.append(f"  subgraph cluster_{ci} {{")
+            lines.append(f'    label="cluster {ci}"; style=rounded;')
+            for s in cluster:
+                lines.append(f'    "{s}";')
+                clustered.add(s)
+            lines.append("  }")
+    for name in g.nodes:
+        if name not in clustered:
+            lines.append(f'  "{name}";')
+    for u, v, data in g.edges(data=True):
+        style = "solid" if data.get("kind") == "flow" else "dashed"
+        lines.append(
+            f'  "{u}" -> "{v}" [label="{data.get("tensor", "")}", style={style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

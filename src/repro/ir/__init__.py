@@ -1,0 +1,43 @@
+"""``repro.ir`` — program representation: tensors, expressions, statements."""
+
+from .expr import (
+    Affine,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Load,
+    as_expr,
+    exp,
+    quant,
+    relu,
+    sqrt,
+    vmax,
+    vmin,
+)
+from .program import Program, ProgramBuilder
+from .statement import ASSIGN, REDUCE, Statement
+from .tensor import Tensor, TensorStore
+
+__all__ = [
+    "ASSIGN",
+    "Affine",
+    "BinOp",
+    "Call",
+    "Const",
+    "Expr",
+    "Load",
+    "Program",
+    "ProgramBuilder",
+    "REDUCE",
+    "Statement",
+    "Tensor",
+    "TensorStore",
+    "as_expr",
+    "exp",
+    "quant",
+    "relu",
+    "sqrt",
+    "vmax",
+    "vmin",
+]

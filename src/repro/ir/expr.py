@@ -1,0 +1,250 @@
+"""Expression AST for statement bodies.
+
+Statements compute scalar expressions over tensor elements.  The AST serves
+three purposes:
+
+* access-relation derivation — every :class:`Load` carries affine index
+  expressions, from which read relations are built;
+* execution — :meth:`Expr.evaluate` runs the expression over concrete
+  iterator values and a tensor store (the interpreter backend);
+* cost analysis — :meth:`Expr.op_count` counts arithmetic operations for
+  the machine models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+from ..presburger import LinExpr
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def loads(self) -> Iterator["Load"]:
+        """Yield every Load node in the expression tree."""
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, int], store) -> float:
+        raise NotImplementedError
+
+    def op_count(self) -> int:
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other) -> "Expr":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other) -> "Expr":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other) -> "Expr":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other) -> "Expr":
+        return BinOp("/", as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return BinOp("-", Const(0), self)
+
+
+def as_expr(value) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, LinExpr):
+        return Affine(value)
+    raise TypeError(f"cannot convert {value!r} to Expr")
+
+
+class Const(Expr):
+    """A literal scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, float]):
+        self.value = value
+
+    def loads(self):
+        return iter(())
+
+    def evaluate(self, env, store):
+        return self.value
+
+    def op_count(self):
+        return 0
+
+    def __repr__(self):
+        return f"Const({self.value})"
+
+    def __str__(self):
+        return str(self.value)
+
+
+class Affine(Expr):
+    """An affine combination of iterators/params used as a value."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: LinExpr):
+        self.expr = expr
+
+    def loads(self):
+        return iter(())
+
+    def evaluate(self, env, store):
+        return self.expr.eval(env)
+
+    def op_count(self):
+        return len(self.expr.coeffs)
+
+    def __repr__(self):
+        return f"Affine({self.expr})"
+
+    def __str__(self):
+        return f"({self.expr})"
+
+
+class Load(Expr):
+    """A read of one tensor element at affine indices."""
+
+    __slots__ = ("tensor", "indices")
+
+    def __init__(self, tensor: str, indices: Sequence[LinExpr]):
+        self.tensor = tensor
+        self.indices = tuple(LinExpr.coerce(i) for i in indices)
+
+    def loads(self):
+        yield self
+
+    def evaluate(self, env, store):
+        idx = tuple(e.eval(env) for e in self.indices)
+        return store.read(self.tensor, idx)
+
+    def op_count(self):
+        return 0
+
+    def __repr__(self):
+        return f"Load({self})"
+
+    def __str__(self):
+        return f"{self.tensor}[{', '.join(str(i) for i in self.indices)}]"
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    _FNS: Dict[str, Callable[[float, float], float]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+        "min": min,
+        "max": max,
+    }
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr):
+        if op not in self._FNS:
+            raise ValueError(f"unsupported binary op {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def loads(self):
+        yield from self.lhs.loads()
+        yield from self.rhs.loads()
+
+    def evaluate(self, env, store):
+        return self._FNS[self.op](self.lhs.evaluate(env, store), self.rhs.evaluate(env, store))
+
+    def op_count(self):
+        return 1 + self.lhs.op_count() + self.rhs.op_count()
+
+    def __repr__(self):
+        return f"BinOp({self})"
+
+    def __str__(self):
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.lhs}, {self.rhs})"
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+class Call(Expr):
+    """A call to a named intrinsic (quantisation, ReLU, exp, ...)."""
+
+    INTRINSICS: Dict[str, Callable] = {
+        "relu": lambda x: x if x > 0 else 0.0,
+        "quant": lambda x: float(int(x * 8.0)) / 8.0,
+        "exp": math.exp,
+        "log": lambda x: math.log(x) if x > 0 else 0.0,
+        "sqrt": lambda x: math.sqrt(x) if x > 0 else 0.0,
+        "abs": abs,
+        "sigmoid": lambda x: 1.0 / (1.0 + math.exp(-x)),
+        "clamp01": lambda x: 0.0 if x < 0 else (1.0 if x > 1 else x),
+    }
+
+    __slots__ = ("fn", "args", "cost")
+
+    def __init__(self, fn: str, *args, cost: int = 4):
+        if fn not in self.INTRINSICS:
+            raise ValueError(f"unknown intrinsic {fn!r}")
+        self.fn = fn
+        self.args = tuple(as_expr(a) for a in args)
+        self.cost = cost
+
+    def loads(self):
+        for a in self.args:
+            yield from a.loads()
+
+    def evaluate(self, env, store):
+        return self.INTRINSICS[self.fn](*(a.evaluate(env, store) for a in self.args))
+
+    def op_count(self):
+        return self.cost + sum(a.op_count() for a in self.args)
+
+    def __repr__(self):
+        return f"Call({self})"
+
+    def __str__(self):
+        return f"{self.fn}({', '.join(str(a) for a in self.args)})"
+
+
+def relu(x) -> Call:
+    return Call("relu", x)
+
+
+def quant(x) -> Call:
+    return Call("quant", x)
+
+
+def exp(x) -> Call:
+    return Call("exp", x)
+
+
+def sqrt(x) -> Call:
+    return Call("sqrt", x)
+
+
+def vmin(a, b) -> BinOp:
+    return BinOp("min", as_expr(a), as_expr(b))
+
+
+def vmax(a, b) -> BinOp:
+    return BinOp("max", as_expr(a), as_expr(b))

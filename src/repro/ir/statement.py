@@ -1,0 +1,123 @@
+"""Statements: the polyhedral unit of computation.
+
+A statement owns an iteration domain (a :class:`Set` whose tuple name is the
+statement name), a single tensor write, and a scalar right-hand side.  Access
+relations are *derived* from the expression tree rather than declared, so
+they can never drift out of sync with what the interpreter executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..presburger import (
+    BasicMap,
+    LinExpr,
+    Map,
+    MapSpace,
+    Set,
+    UnionMap,
+    fresh_names,
+)
+from .expr import Expr, Load
+
+ASSIGN = "assign"
+REDUCE = "reduce"
+
+
+class Statement:
+    """One statement: ``lhs = rhs`` or ``lhs += rhs`` over a domain."""
+
+    def __init__(
+        self,
+        name: str,
+        domain: Set,
+        lhs: Load,
+        rhs: Expr,
+        kind: str = ASSIGN,
+        reduce_op: str = "+",
+    ):
+        if domain.space.name != name:
+            raise ValueError(
+                f"domain tuple name {domain.space.name!r} != statement name {name!r}"
+            )
+        if kind not in (ASSIGN, REDUCE):
+            raise ValueError(f"bad statement kind {kind!r}")
+        self.name = name
+        self.domain = domain
+        self.lhs = lhs
+        self.rhs = rhs
+        self.kind = kind
+        self.reduce_op = reduce_op
+
+    # -- shape queries -----------------------------------------------------
+
+    @property
+    def dims(self) -> Tuple[str, ...]:
+        return self.domain.space.dims
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        return self.domain.space.params
+
+    def ops_per_instance(self) -> int:
+        base = self.rhs.op_count()
+        if self.kind == REDUCE:
+            base += 1  # the accumulate
+        return max(base, 1)
+
+    # -- access relations ---------------------------------------------------
+
+    def _access_map(self, tensor: str, indices: Sequence[LinExpr]) -> Map:
+        pieces = []
+        out_dims: Optional[Tuple[str, ...]] = None
+        for dpiece in self.domain.pieces:
+            bmap = BasicMap.from_exprs(
+                self.name,
+                self.dims,
+                tensor,
+                list(indices),
+                params=self.params,
+                out_dims=out_dims,
+                domain=dpiece,
+            )
+            out_dims = bmap.space.out_dims
+            pieces.append(bmap)
+        if out_dims is None:
+            out_dims = fresh_names(
+                [f"o{i}" for i in range(len(indices))], list(self.dims) + list(self.params)
+            )
+        space = MapSpace(self.name, self.dims, tensor, out_dims, self.params)
+        return Map(space, pieces)
+
+    def write_relation(self) -> Map:
+        return self._access_map(self.lhs.tensor, self.lhs.indices)
+
+    def read_loads(self) -> List[Load]:
+        loads = list(self.rhs.loads())
+        if self.kind == REDUCE:
+            loads.append(self.lhs)
+        return loads
+
+    def read_relations(self) -> UnionMap:
+        by_tensor: Dict[str, Map] = {}
+        for load in self.read_loads():
+            m = self._access_map(load.tensor, load.indices)
+            key = load.tensor
+            if key in by_tensor:
+                prev = by_tensor[key]
+                rename = dict(zip(m.space.out_dims, prev.space.out_dims))
+                by_tensor[key] = prev.union(m.rename_dims(rename))
+            else:
+                by_tensor[key] = m
+        return UnionMap(list(by_tensor.values()))
+
+    def tensors_read(self) -> Tuple[str, ...]:
+        return tuple(dict.fromkeys(l.tensor for l in self.read_loads()))
+
+    def tensor_written(self) -> str:
+        return self.lhs.tensor
+
+    def __repr__(self):
+        sym = "+=" if self.kind == REDUCE else "="
+        return f"Statement({self.name}: {self.lhs} {sym} {self.rhs})"

@@ -1,0 +1,40 @@
+"""``repro.machine`` — analytical machine models (CPU / GPU / NPU)."""
+
+from .cost import (
+    ClusterWork,
+    ITEMSIZE,
+    ProgramWork,
+    analyze_optimized,
+    analyze_scheduled,
+)
+from .cpu import CPUSpec, DEFAULT_CPU, cluster_time as cpu_cluster_time
+from .cpu import program_time as cpu_time
+from .cpu import speedup_over
+from .gpu import DEFAULT_GPU, GPUSpec
+from .gpu import program_time as gpu_time
+from .npu import ConvLayer, DEFAULT_NPU, NPUSpec, conv_bn_time, network_time
+from .roofline import RooflinePoint, intensity_gain, roofline
+
+__all__ = [
+    "CPUSpec",
+    "ClusterWork",
+    "ConvLayer",
+    "DEFAULT_CPU",
+    "DEFAULT_GPU",
+    "DEFAULT_NPU",
+    "GPUSpec",
+    "ITEMSIZE",
+    "NPUSpec",
+    "ProgramWork",
+    "RooflinePoint",
+    "analyze_optimized",
+    "analyze_scheduled",
+    "conv_bn_time",
+    "cpu_cluster_time",
+    "cpu_time",
+    "gpu_time",
+    "intensity_gain",
+    "network_time",
+    "roofline",
+    "speedup_over",
+]

@@ -1,0 +1,67 @@
+"""Roofline summaries: where each fusion cluster sits on the machine.
+
+For every cluster: operational intensity (ops per DRAM byte), the machine
+balance point, and whether the cluster is compute- or memory-bound.  The
+paper's whole argument is a roofline argument — post-tiling fusion raises
+operational intensity by keeping intermediates out of DRAM — so this view
+makes the mechanism inspectable per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .cost import ClusterWork, ProgramWork
+from .cpu import CPUSpec, DEFAULT_CPU
+
+
+@dataclass
+class RooflinePoint:
+    cluster: str
+    ops: float
+    dram_bytes: float
+    intensity: float          # ops / DRAM byte (inf if traffic-free)
+    machine_balance: float    # ops/byte at which compute == bandwidth
+    bound: str                # "compute" | "memory"
+
+    def __str__(self):
+        return (
+            f"{self.cluster}: {self.intensity:.2f} ops/B "
+            f"(balance {self.machine_balance:.2f}) -> {self.bound}-bound"
+        )
+
+
+def roofline(
+    work: ProgramWork, spec: CPUSpec = DEFAULT_CPU, threads: int = 32
+) -> List[RooflinePoint]:
+    threads = max(1, min(threads, spec.cores))
+    peak_flops = threads * spec.freq_ghz * 1e9 * spec.ops_per_cycle * spec.simd_width
+    bw = min(spec.dram_bw_gbs, spec.per_core_bw_gbs * threads) * 1e9
+    balance = peak_flops / bw
+    points = []
+    for c in work.clusters:
+        traffic = c.total_dram_bytes()
+        intensity = float("inf") if traffic == 0 else c.ops / traffic
+        points.append(
+            RooflinePoint(
+                cluster=c.name,
+                ops=c.ops,
+                dram_bytes=traffic,
+                intensity=intensity,
+                machine_balance=balance,
+                bound="compute" if intensity >= balance else "memory",
+            )
+        )
+    return points
+
+
+def intensity_gain(
+    fused: ProgramWork, unfused: ProgramWork
+) -> Optional[float]:
+    """How much fusion raised whole-program operational intensity."""
+    fb = fused.total_dram_bytes()
+    ub = unfused.total_dram_bytes()
+    if fb == 0 or ub == 0:
+        return None
+    return (fused.total_ops() / fb) / (unfused.total_ops() / ub)

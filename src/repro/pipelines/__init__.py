@@ -1,0 +1,44 @@
+"""``repro.pipelines`` — the workloads of the paper's evaluation.
+
+Image processing (PolyMage benchmarks, Table I): bilateral_grid,
+camera_pipeline, harris, local_laplacian, multiscale_interp, unsharp_mask.
+Finite elements (SPEC CPU2000): equake.  Linear algebra / data mining
+(PolyBench, Table II): polybench.  Neural networks (Table III): resnet and
+the conv2d running example of Fig. 1.
+"""
+
+from . import (
+    bilateral_grid,
+    camera_pipeline,
+    conv2d,
+    equake,
+    harris,
+    local_laplacian,
+    multiscale_interp,
+    polybench,
+    resnet,
+    unsharp_mask,
+)
+
+IMAGE_PIPELINES = {
+    "bilateral_grid": bilateral_grid,
+    "camera_pipeline": camera_pipeline,
+    "harris": harris,
+    "local_laplacian": local_laplacian,
+    "multiscale_interp": multiscale_interp,
+    "unsharp_mask": unsharp_mask,
+}
+
+__all__ = [
+    "IMAGE_PIPELINES",
+    "bilateral_grid",
+    "camera_pipeline",
+    "conv2d",
+    "equake",
+    "harris",
+    "local_laplacian",
+    "multiscale_interp",
+    "polybench",
+    "resnet",
+    "unsharp_mask",
+]

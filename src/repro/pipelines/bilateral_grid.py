@@ -1,0 +1,51 @@
+"""Bilateral Grid — 7 stages (Table I).
+
+Grid construction by 8x downsampling, three grid-space blurs, slicing back
+up to full resolution, combination with the input and normalisation.  The
+strided construction/slice stages exercise non-unit-coefficient access
+relations in the footprint algebra.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Program
+from .common import ImagePipeline
+
+SIGMA_S = 8  # spatial downsampling factor of the grid
+
+
+def build(size: int = 2048) -> Program:
+    p = ImagePipeline("bilateral_grid")
+    img = p.source("in_img", size, size)
+    grid = p.downsample("grid", img, factor=SIGMA_S)
+    b1 = p.blur_x("grid_bx", grid, radius=1)
+    b2 = p.blur_y("grid_by", b1, radius=1)
+    b3 = p.stencil(
+        "grid_bz",
+        b2,
+        [(0, 0), (1, 0), (0, 1)],
+        [0.5, 0.25, 0.25],
+    )
+    sliced = p.upsample("slice", b3, factor=SIGMA_S)
+    combined = p.pointwise("combine", [img, sliced], lambda a, g: a * 0.3 + g * 0.7)
+    norm = p.pointwise("norm", [combined], lambda c: c * (1.0 / 1.2))
+    return p.build([norm])
+
+
+def halide_partition(prog: Program) -> List[List[str]]:
+    """Manual schedule: the grid pyramid is one group, slicing another."""
+    s = prog.stages  # type: ignore[attr-defined]
+    return [s[0] + s[1] + s[2] + s[3], s[4] + s[5] + s[6]]
+
+
+TILE_SIZES = (8, 128)
+GPU_GRID = (8, 64)
+STAGE_COUNT = 7
+
+
+def polymage_partition(prog: Program) -> List[List[str]]:
+    """PolyMage keeps the grid pyramid and the slice path separate."""
+    s = prog.stages  # type: ignore[attr-defined]
+    return [s[0] + s[1] + s[2] + s[3], s[4] + s[5] + s[6]]

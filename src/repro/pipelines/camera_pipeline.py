@@ -1,0 +1,119 @@
+"""Camera Pipeline — 32 stages (Table I).
+
+The FrankenCamera-style raw processing chain: hot-pixel suppression,
+demosaicing (a bank of interpolation stencils), colour correction, tone
+mapping and sharpening.  The stage structure (a wide demosaic fan-in
+followed by long pointwise chains and a final stencil block) is what
+stresses fusion heuristics — and what made maxfuse/smartfuse time out for
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Program, vmax, vmin
+from .common import ImagePipeline
+
+CROSS = [((0, 0), 0.5), ((-1, 0), 0.125), ((1, 0), 0.125), ((0, -1), 0.125), ((0, 1), 0.125)]
+
+
+def build(size: int = 2048) -> Program:
+    p = ImagePipeline("camera_pipeline")
+    raw = p.source("raw", size, size)
+
+    # 1: hot pixel suppression
+    denoised = p.stencil(
+        "denoise", raw, [o for o, _ in CROSS], [w for _, w in CROSS]
+    )
+
+    # 2-9: demosaic interpolation bank (8 stencil stages over the mosaic)
+    greens = []
+    for k, offs in enumerate(
+        [
+            [(0, 0), (0, 1)],
+            [(0, 0), (1, 0)],
+            [(0, 0), (0, 1), (1, 0), (1, 1)],
+            [(0, 0), (1, 1)],
+        ]
+    ):
+        greens.append(p.stencil(f"dm_g{k}", denoised, offs))
+    chans = []
+    for k, offs in enumerate(
+        [
+            [(0, 0), (0, 1), (1, 0)],
+            [(0, 0), (1, 1), (0, 1)],
+            [(0, 0), (1, 0), (1, 1)],
+            [(0, 0), (0, 1), (1, 0), (1, 1)],
+        ]
+    ):
+        chans.append(p.stencil(f"dm_c{k}", greens[k], offs))
+
+    # 10-12: channel assembly (pointwise fan-in of the demosaic bank)
+    r = p.pointwise("asm_r", [chans[0], chans[1]], lambda a, b: a * 0.6 + b * 0.4)
+    g = p.pointwise("asm_g", [chans[1], chans[2]], lambda a, b: a * 0.5 + b * 0.5)
+    b_ = p.pointwise("asm_b", [chans[2], chans[3]], lambda a, b: a * 0.4 + b * 0.6)
+
+    # 13-21: colour correction, a 3x3 matrix as nine pointwise stages
+    corrected = []
+    mat = [
+        (1.6, -0.4, -0.2),
+        (-0.3, 1.5, -0.2),
+        (-0.1, -0.5, 1.6),
+    ]
+    for ci, (m0, m1, m2) in enumerate(mat):
+        t0 = p.pointwise(f"cc{ci}_r", [r], lambda a, m=m0: a * m)
+        t1 = p.pointwise(f"cc{ci}_g", [t0, g], lambda a, b, m=m1: a + b * m)
+        corrected.append(
+            p.pointwise(f"cc{ci}_b", [t1, b_], lambda a, c, m=m2: a + c * m)
+        )
+
+    # 22-27: tone curve (two pointwise stages per channel)
+    toned = []
+    for ci, chan in enumerate(corrected):
+        clipped = p.pointwise(
+            f"tone{ci}_clip", [chan], lambda a: vmin(vmax(a, 0.0), 1.0)
+        )
+        toned.append(
+            p.pointwise(f"tone{ci}_gamma", [clipped], lambda a: a * a * 0.7 + a * 0.3)
+        )
+
+    # 28-31: luma sharpening (blur pair + unsharp combine + final mix)
+    luma = p.pointwise(
+        "luma", [toned[0], toned[1], toned[2]],
+        lambda rr, gg, bb: rr * 0.3 + gg * 0.6 + bb * 0.1,
+    )
+    lbx = p.blur_x("luma_bx", luma, radius=1)
+    lby = p.blur_y("luma_by", lbx, radius=1)
+
+    # 31-32: final assembly and clamp
+    mixed = p.pointwise(
+        "final_mix", [luma, lby], lambda a, blur: a * 1.5 - blur * 0.5
+    )
+    out = p.pointwise("final_clamp", [mixed], lambda a: vmin(vmax(a, 0.0), 1.0))
+    return p.build([out])
+
+
+def halide_partition(prog: Program) -> List[List[str]]:
+    """Manual schedule: demosaic bank fused, colour/tone fused, sharpening
+    fused — three coarse groups (conservative vs. the paper's pass)."""
+    s = prog.stages  # type: ignore[attr-defined]
+    flat = lambda groups: [name for g in groups for name in g]
+    return [
+        flat(s[0:9]),      # denoise + demosaic bank
+        flat(s[9:12]),     # assembly
+        flat(s[12:27]),    # colour correction + tone curve
+        flat(s[27:33]),    # sharpening + final
+    ]
+
+
+TILE_SIZES = (64, 256)
+GPU_GRID = (16, 32)
+STAGE_COUNT = 32
+
+
+def polymage_partition(prog: Program) -> List[List[str]]:
+    """PolyMage finds the same (fully fused) grouping as the paper's pass
+    here — the difference is its over-approximated overlap (Section VI-A)."""
+    s = prog.stages  # type: ignore[attr-defined]
+    return [[name for stage in s for name in stage]]

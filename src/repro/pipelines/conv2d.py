@@ -1,0 +1,48 @@
+"""The paper's running example (Fig. 1a): quantise → conv2d → ReLU.
+
+Four statements over an ``H×W`` image ``A`` and a ``KH×KW`` kernel ``B``:
+
+* ``S0`` quantisation of the input (writes the intermediate tensor ``A``),
+* ``S1`` initialisation of the output ``C``,
+* ``S2`` the convolution reduction reading ``A[h+kh, w+kw]``,
+* ``S3`` ReLU over ``C``.
+
+``C`` is live-out; ``A`` is intermediate and is the tensor whose tile
+footprints drive the whole paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..ir import ProgramBuilder, Program, quant, relu
+
+
+def build(params: Optional[Mapping[str, int]] = None) -> Program:
+    p = {"H": 16, "W": 16, "KH": 3, "KW": 3}
+    p.update(params or {})
+    b = ProgramBuilder("conv2d", params=p)
+    A = b.tensor("A", ("H", "W"))
+    B = b.tensor("B", ("KH", "KW"))
+    C = b.tensor(
+        "C",
+        (b.param("H") - b.param("KH") + 1, b.param("W") - b.param("KW") + 1),
+    )
+    h, w, kh, kw = b.iters("h", "w", "kh", "kw")
+
+    b.assign("S0", (h, w), "0 <= h < H and 0 <= w < W", A[h, w], quant(A[h, w]))
+    b.assign(
+        "S1", (h, w), "0 <= h <= H - KH and 0 <= w <= W - KW", C[h, w], 0
+    )
+    b.reduce(
+        "S2",
+        (h, w, kh, kw),
+        "0 <= h <= H - KH and 0 <= w <= W - KW and 0 <= kh < KH and 0 <= kw < KW",
+        C[h, w],
+        A[h + kh, w + kw] * B[kh, kw],
+    )
+    b.assign(
+        "S3", (h, w), "0 <= h <= H - KH and 0 <= w <= W - KW", C[h, w], relu(C[h, w])
+    )
+    b.set_liveout("C")
+    return b.build()

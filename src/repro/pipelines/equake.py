@@ -1,0 +1,68 @@
+"""equake (SPEC CPU2000) — finite element method with a 3D SpMV core.
+
+The original updates an unstructured mesh with a sparse matrix-vector
+product whose inner loop is a ``while`` over each row's entries, followed
+by a group of affine loop nests that scale and integrate the mesh state.
+
+Substitution (documented in DESIGN.md): the unstructured sparsity becomes a
+*banded* matrix — the affine equivalent of the "dynamic counted loop" form
+the paper's enhancement [61] produces by preprocessing, using the mean row
+length as the band width.  This exercises the same structure: an imperfect
+reduction nest (init / reduce / gather) followed by elementary affine
+nests, where only the outermost loop is tilable and fusion is the whole
+game.
+
+``PARTITIONS`` quotes the fusion groupings the paper reports for PPCG's
+heuristics on this benchmark (Section VI-A); ``optimize()`` is free to find
+its own (it fuses the gather with the follow-up nests, like maxfuse, plus
+the SpMV component).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..ir import Program, ProgramBuilder
+
+SIZES = {"test": 8000, "train": 40000, "ref": 150000}
+BAND = 27  # mean row length of the unstructured mesh
+HALF = BAND // 2
+
+
+def build(size: str = "test", n: Optional[int] = None) -> Program:
+    N = n if n is not None else SIZES[size]
+    b = ProgramBuilder("equake", params={})
+    M = b.tensor("M", (N, BAND))
+    x = b.tensor("x", (N,))
+    r = b.tensor("r", (N,))
+    disp = b.tensor("disp", (N,))
+    vold = b.tensor("vold", (N,))
+    v = b.tensor("v", (N,))
+    w2 = b.tensor("w2", (N,))
+    uold = b.tensor("uold", (N,))
+    u = b.tensor("u", (N,))
+    i, k = b.iters("i", "k")
+
+    b.assign("Sinit", (i,), f"0 <= i < {N}", r[i], 0)
+    b.reduce(
+        "Sspmv",
+        (i, k),
+        f"0 <= i < {N} and 0 <= k < {BAND} "
+        f"and 0 <= i + k - {HALF} < {N}",
+        r[i],
+        M[i, k] * x[i + k - HALF],
+    )
+    b.assign("Sgather", (i,), f"0 <= i < {N}", disp[i], r[i] * 0.5)
+    b.assign("Sphi1", (i,), f"0 <= i < {N}", v[i], disp[i] * 2.0 + vold[i] * 0.9)
+    b.assign("Sphi2", (i,), f"0 <= i < {N}", w2[i], v[i] * 0.02 + disp[i] * 0.1)
+    b.assign("Supd", (i,), f"0 <= i < {N}", u[i], uold[i] + w2[i])
+    b.set_liveout("u")
+    return b.build()
+
+
+#: Fusion groupings of PPCG's heuristics as reported in Section VI-A.
+PARTITIONS: Dict[str, List[List[str]]] = {
+    "minfuse": [["Sinit"], ["Sspmv"], ["Sgather"], ["Sphi1"], ["Sphi2"], ["Supd"]],
+    "smartfuse": [["Sinit", "Sspmv", "Sgather"], ["Sphi1"], ["Sphi2"], ["Supd"]],
+    "maxfuse": [["Sinit", "Sspmv"], ["Sgather", "Sphi1", "Sphi2", "Supd"]],
+}

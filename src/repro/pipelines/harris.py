@@ -1,0 +1,69 @@
+"""Harris Corner Detection — 11 stages (Table I).
+
+gray → (Ix, Iy) derivative stencils → (Ixx, Iyy, Ixy) products →
+(Sxx, Syy, Sxy) box sums → response → threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Program, vmax
+from .common import ImagePipeline
+
+SOBEL_X = [
+    ((-1, -1), -1.0), ((-1, 1), 1.0),
+    ((0, -1), -2.0), ((0, 1), 2.0),
+    ((1, -1), -1.0), ((1, 1), 1.0),
+]
+SOBEL_Y = [
+    ((-1, -1), -1.0), ((-1, 0), -2.0), ((-1, 1), -1.0),
+    ((1, -1), 1.0), ((1, 0), 2.0), ((1, 1), 1.0),
+]
+BOX = [((dy, dx), 1.0 / 9.0) for dy in (-1, 0, 1) for dx in (-1, 0, 1)]
+
+
+def build(size: int = 2048) -> Program:
+    p = ImagePipeline("harris")
+    img = p.source("in_img", size, size)
+    gray = p.pointwise("gray", [img], lambda a: a * 0.587)
+    ix = p.stencil("Ix", gray, [o for o, _ in SOBEL_X], [w for _, w in SOBEL_X])
+    iy = p.stencil("Iy", gray, [o for o, _ in SOBEL_Y], [w for _, w in SOBEL_Y])
+    ixx = p.pointwise("Ixx", [ix], lambda a: a * a)
+    iyy = p.pointwise("Iyy", [iy], lambda a: a * a)
+    ixy = p.pointwise("Ixy", [ix, iy], lambda a, b: a * b)
+    sxx = p.stencil("Sxx", ixx, [o for o, _ in BOX], [w for _, w in BOX])
+    syy = p.stencil("Syy", iyy, [o for o, _ in BOX], [w for _, w in BOX])
+    sxy = p.stencil("Sxy", ixy, [o for o, _ in BOX], [w for _, w in BOX])
+    resp = p.pointwise(
+        "resp",
+        [sxx, syy, sxy],
+        lambda a, b, c: (a * b - c * c) - (a + b) * (a + b) * 0.04,
+    )
+    thresh = p.pointwise("thresh", [resp], lambda r: vmax(r, 0.0))
+    return p.build([thresh])
+
+
+def halide_partition(prog: Program) -> List[List[str]]:
+    """The published manual schedule misses the inlining of the pointwise
+    product stages: gray/Ix/Iy one group, products+sums+response another,
+    with the products materialised (extra DRAM round trips)."""
+    s = prog.stages  # type: ignore[attr-defined]
+    return [
+        s[0],                      # gray
+        s[1], s[2],                # Ix, Iy materialised
+        s[3] + s[4] + s[5],        # products materialised together
+        s[6] + s[7] + s[8] + s[9] + s[10],  # sums + response + threshold
+    ]
+
+
+TILE_SIZES = (32, 256)
+GPU_GRID = (16, 32)
+STAGE_COUNT = 11
+
+
+def polymage_partition(prog: Program) -> List[List[str]]:
+    """PolyMage inlines the pointwise products: one fully fused group
+    (the paper reports identical code to ours for this benchmark)."""
+    s = prog.stages  # type: ignore[attr-defined]
+    return [[name for stage in s for name in stage]]

@@ -1,0 +1,97 @@
+"""Local Laplacian Filter — 99 stages (Table I).
+
+The deepest pipeline of the suite: a two-stage prelude, eight remap/
+pyramid blocks of twelve stages each, and a final collapse stage
+(2 + 8*12 + 1 = 99).  Each block contains a pointwise remap, a
+down/blur/up excursion, a laplacian-style combine against the block input
+and a second blur/weight chain — the structure that makes maxfuse's
+compilation time explode in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Program, vmax
+from .common import Image, ImagePipeline
+
+BLOCKS = 8
+
+
+def _crop(img: Image, h: int, w: int) -> Image:
+    if img.h == h and img.w == w:
+        return img
+    return Image(img.tensor, h, w)
+
+
+def build(size: int = 2048, blocks: int = BLOCKS) -> Program:
+    p = ImagePipeline("local_laplacian")
+    img = p.source("in_img", size, size)
+
+    # Prelude: grayscale + contrast normalisation (2 stages).
+    gray = p.pointwise("gray", [img], lambda a: a * 0.5)
+    cur = p.pointwise("normed", [gray], lambda a: a * 1.1)
+
+    for k in range(blocks):
+        # 1 remap
+        remap = p.pointwise(f"b{k}_remap", [cur], lambda a, s=k: a * (1.0 + 0.1 * s))
+        # 2-4 down + separable blur
+        d = p.downsample(f"b{k}_down", remap, factor=2)
+        bx = p.blur_x(f"b{k}_bx", d, radius=1)
+        by = p.blur_y(f"b{k}_by", bx, radius=1)
+        # 5 upsample back
+        u = p.upsample(f"b{k}_up", by, factor=2)
+        # 6 laplacian-style combine against the block input
+        h = min(u.h, remap.h)
+        w = min(u.w, remap.w)
+        lap = p.pointwise(
+            f"b{k}_lap", [_crop(remap, h, w), _crop(u, h, w)], lambda a, b: a - b * 0.9
+        )
+        # 7-8 second blur pair on the detail signal
+        dbx = p.blur_x(f"b{k}_dbx", lap, radius=1)
+        dby = p.blur_y(f"b{k}_dby", dbx, radius=1)
+        # 9 clamp
+        clamped = p.pointwise(f"b{k}_clamp", [dby], lambda a: vmax(a, -1.0))
+        # 10 weight
+        weighted = p.pointwise(f"b{k}_wt", [clamped], lambda a, s=k: a * (1.0 - 0.04 * s))
+        # 11-12 accumulate with the carried signal (two pointwise stages)
+        h2 = min(weighted.h, cur.h)
+        w2 = min(weighted.w, cur.w)
+        mixed = p.pointwise(
+            f"b{k}_mix",
+            [_crop(cur, h2, w2), _crop(weighted, h2, w2)],
+            lambda a, b: a * 0.8 + b * 0.2,
+        )
+        cur = p.pointwise(f"b{k}_gain", [mixed], lambda a: a * 1.02)
+
+    out = p.pointwise("collapse", [cur], lambda a: vmax(a, 0.0))
+    return p.build([out])
+
+
+def halide_partition(prog: Program) -> List[List[str]]:
+    """Manual schedule: the prelude, one group per block, the collapse."""
+    s = prog.stages  # type: ignore[attr-defined]
+    groups: List[List[str]] = [s[0] + s[1]]
+    i = 2
+    while i + 12 <= len(s) - 1:
+        groups.append([name for stage in s[i : i + 12] for name in stage])
+        i += 12
+    groups.append([name for stage in s[i:] for name in stage])
+    return groups
+
+
+TILE_SIZES = (8, 256)
+GPU_GRID = (8, 64)
+STAGE_COUNT = 99
+
+
+def polymage_partition(prog: Program) -> List[List[str]]:
+    """PolyMage fuses pairs of blocks (coarser than full fusion)."""
+    s = prog.stages  # type: ignore[attr-defined]
+    groups: List[List[str]] = [s[0] + s[1]]
+    i = 2
+    while i + 24 <= len(s) - 1:
+        groups.append([n for stage in s[i : i + 24] for n in stage])
+        i += 24
+    groups.append([n for stage in s[i:] for n in stage])
+    return groups

@@ -1,0 +1,89 @@
+"""Multiscale Interpolation — 49 stages (Table I).
+
+An 8-level analysis/synthesis pyramid: a normalisation prelude, a descent
+of (downsample, blur_x, blur_y) per level, and an ascent of (upsample,
+interpolate, weight) per level: 1 + 8*3 + 8*3 = 49 stages.  The strided
+pyramid accesses and deep producer chains are the stress test for
+Algorithm 1's transitive footprint extension.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Program
+from .common import ImagePipeline, crop_to
+
+LEVELS = 8
+
+
+def build(size: int = 2048, levels: int = LEVELS) -> Program:
+    p = ImagePipeline("multiscale_interp")
+    img = p.source("in_img", size, size)
+
+    base = p.pointwise("normalize", [img], lambda a: a * (1.0 / 255.0))
+
+    # Descent: per level downsample + separable blur.
+    down = [base]
+    for l in range(levels):
+        d = p.downsample(f"down{l}", down[-1], factor=2)
+        bx = p.blur_x(f"dbx{l}", d, radius=1)
+        by = p.blur_y(f"dby{l}", bx, radius=1)
+        down.append(by)
+
+    # Ascent: upsample, interpolate against the matching level, weight.
+    up = down[-1]
+    for l in range(levels - 1, -1, -1):
+        u = p.upsample(f"up{l}", up, factor=2)
+        ref = down[l]
+        h = min(u.h, ref.h)
+        w = min(u.w, ref.w)
+        interp = p.pointwise(
+            f"interp{l}",
+            [crop_like(p, u, h, w), crop_like(p, ref, h, w)],
+            lambda a, b: a * 0.5 + b * 0.5,
+        )
+        weighted = p.pointwise(
+            f"weight{l}", [interp], lambda a, s=l: a * (1.0 - 0.05 * s)
+        )
+        up = weighted
+    return p.build([up])
+
+
+def crop_like(p: ImagePipeline, img, h, w):
+    if img.h == h and img.w == w:
+        return img
+    from .common import Image
+
+    return Image(img.tensor, h, w)
+
+
+def halide_partition(prog: Program) -> List[List[str]]:
+    """Manual schedule: each pyramid level is its own group of three."""
+    s = prog.stages  # type: ignore[attr-defined]
+    groups: List[List[str]] = [list(s[0])]
+    i = 1
+    while i + 2 <= len(s) - 1:
+        groups.append(s[i] + s[i + 1] + s[i + 2])
+        i += 3
+    while i < len(s):
+        groups.append(list(s[i]))
+        i += 1
+    return groups
+
+
+TILE_SIZES = (32, 128)
+GPU_GRID = (32, 16)
+STAGE_COUNT = 49
+
+
+def polymage_partition(prog: Program) -> List[List[str]]:
+    """PolyMage groups two pyramid levels at a time (coarser than ours)."""
+    s = prog.stages  # type: ignore[attr-defined]
+    groups: List[List[str]] = [list(s[0])]
+    i = 1
+    while i + 6 <= len(s) - 1:
+        groups.append([n for stage in s[i : i + 6] for n in stage])
+        i += 6
+    groups.append([n for stage in s[i:] for n in stage])
+    return groups

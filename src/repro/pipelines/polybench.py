@@ -1,0 +1,230 @@
+"""PolyBench kernels used in Table II: 2mm, gemver, covariance."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..ir import Program, ProgramBuilder
+
+DEFAULT_N = 1024
+
+
+def build_2mm(n: int = DEFAULT_N) -> Program:
+    """tmp = alpha*A*B; D = beta*D0 + tmp*C — two chained matmuls."""
+    b = ProgramBuilder("2mm", params={})
+    A = b.tensor("A", (n, n))
+    B = b.tensor("B", (n, n))
+    C = b.tensor("C", (n, n))
+    D0 = b.tensor("D0", (n, n))
+    tmp = b.tensor("tmp", (n, n))
+    D = b.tensor("D", (n, n))
+    i, j, k = b.iters("i", "j", "k")
+    box = f"0 <= i < {n} and 0 <= j < {n}"
+    red = box + f" and 0 <= k < {n}"
+
+    b.assign("St0", (i, j), box, tmp[i, j], 0)
+    b.reduce("St1", (i, j, k), red, tmp[i, j], A[i, k] * B[k, j] * 1.5)
+    b.assign("Sd0", (i, j), box, D[i, j], D0[i, j] * 1.2)
+    b.reduce("Sd1", (i, j, k), red, D[i, j], tmp[i, k] * C[k, j])
+    b.set_liveout("D")
+    return b.build()
+
+
+def build_gemver(n: int = DEFAULT_N) -> Program:
+    """BLAS gemver: rank-2 update, transposed mat-vec, mat-vec.
+
+    Two live-out tensors (x1 and w) share the updated matrix A2 — the
+    multiple-live-out case of Algorithm 3, with fully overlapping needed
+    subsets (both consumers read all of A2), so the shared space must not
+    be fused (no redundant recomputation).
+    """
+    b = ProgramBuilder("gemver", params={})
+    A = b.tensor("A", (n, n))
+    u1 = b.tensor("u1", (n,))
+    v1 = b.tensor("v1", (n,))
+    u2 = b.tensor("u2", (n,))
+    v2 = b.tensor("v2", (n,))
+    A2 = b.tensor("A2", (n, n))
+    y = b.tensor("y", (n,))
+    z = b.tensor("z", (n,))
+    x1 = b.tensor("x1", (n,))
+    w = b.tensor("w", (n,))
+    i, j = b.iters("i", "j")
+    box = f"0 <= i < {n} and 0 <= j < {n}"
+    vec = f"0 <= i < {n}"
+
+    b.assign(
+        "Sa", (i, j), box, A2[i, j], A[i, j] + u1[i] * v1[j] + u2[i] * v2[j]
+    )
+    b.assign("Sx0", (i,), vec, x1[i], z[i])
+    b.reduce("Sx1", (i, j), box, x1[i], A2[j, i] * y[j] * 1.2)
+    b.assign("Sw0", (i,), vec, w[i], 0)
+    b.reduce("Sw1", (i, j), box, w[i], A2[i, j] * x1[j] * 1.5)
+    b.set_liveout("x1", "w")
+    return b.build()
+
+
+def build_covariance(n: int = DEFAULT_N, m: Optional[int] = None) -> Program:
+    """Covariance of data samples; the cov reduction domain is triangular
+    (j >= i), which defeats hybridfuse (Table II's segfault)."""
+    m = m if m is not None else n
+    b = ProgramBuilder("covariance", params={})
+    data = b.tensor("data", (m, n))
+    mean = b.tensor("mean", (n,))
+    cdata = b.tensor("cdata", (m, n))
+    cov = b.tensor("cov", (n, n))
+    i, j, k = b.iters("i", "j", "k")
+
+    b.assign("Sm0", (j,), f"0 <= j < {n}", mean[j], 0)
+    b.reduce(
+        "Sm1", (j, k), f"0 <= j < {n} and 0 <= k < {m}", mean[j], data[k, j]
+    )
+    b.assign("Sm2", (j,), f"0 <= j < {n}", mean[j], mean[j] * (1.0 / m))
+    b.assign(
+        "Sc",
+        (i, j),
+        f"0 <= i < {m} and 0 <= j < {n}",
+        cdata[i, j],
+        data[i, j] - mean[j],
+    )
+    b.assign(
+        "Sv0", (i, j), f"0 <= i < {n} and i <= j < {n}", cov[i, j], 0
+    )
+    b.reduce(
+        "Sv1",
+        (i, j, k),
+        f"0 <= i < {n} and i <= j < {n} and 0 <= k < {m}",
+        cov[i, j],
+        cdata[k, i] * cdata[k, j],
+    )
+    b.assign(
+        "Sv2",
+        (i, j),
+        f"0 <= i < {n} and i <= j < {n}",
+        cov[i, j],
+        cov[i, j] * (1.0 / (m - 1)),
+    )
+    b.set_liveout("cov")
+    return b.build()
+
+
+BUILDERS = {
+    "2mm": build_2mm,
+    "gemver": build_gemver,
+    "covariance": build_covariance,
+}
+
+
+def build_3mm(n: int = DEFAULT_N) -> Program:
+    """E = A*B; F = C*D; G = E*F — three chained matmuls."""
+    b = ProgramBuilder("3mm", params={})
+    A = b.tensor("A", (n, n))
+    B = b.tensor("B", (n, n))
+    C = b.tensor("C", (n, n))
+    D = b.tensor("D", (n, n))
+    E = b.tensor("E", (n, n))
+    F = b.tensor("F", (n, n))
+    G = b.tensor("G", (n, n))
+    i, j, k = b.iters("i", "j", "k")
+    box = f"0 <= i < {n} and 0 <= j < {n}"
+    red = box + f" and 0 <= k < {n}"
+
+    b.assign("Se0", (i, j), box, E[i, j], 0)
+    b.reduce("Se1", (i, j, k), red, E[i, j], A[i, k] * B[k, j])
+    b.assign("Sf0", (i, j), box, F[i, j], 0)
+    b.reduce("Sf1", (i, j, k), red, F[i, j], C[i, k] * D[k, j])
+    b.assign("Sg0", (i, j), box, G[i, j], 0)
+    b.reduce("Sg1", (i, j, k), red, G[i, j], E[i, k] * F[k, j])
+    b.set_liveout("G")
+    return b.build()
+
+
+def build_atax(n: int = DEFAULT_N) -> Program:
+    """y = A^T (A x) — the canonical fusion-across-transpose kernel."""
+    b = ProgramBuilder("atax", params={})
+    A = b.tensor("A", (n, n))
+    x = b.tensor("x", (n,))
+    tmp = b.tensor("tmp", (n,))
+    y = b.tensor("y", (n,))
+    i, j = b.iters("i", "j")
+    vec = f"0 <= i < {n}"
+    box = f"0 <= i < {n} and 0 <= j < {n}"
+
+    b.assign("St0", (i,), vec, tmp[i], 0)
+    b.reduce("St1", (i, j), box, tmp[i], A[i, j] * x[j])
+    b.assign("Sy0", (i,), vec, y[i], 0)
+    b.reduce("Sy1", (i, j), box, y[i], A[j, i] * tmp[j])
+    b.set_liveout("y")
+    return b.build()
+
+
+def build_bicg(n: int = DEFAULT_N) -> Program:
+    """s = A^T r; q = A p — two independent mat-vecs sharing A.
+
+    Two live-out vectors whose computations share only a *read-only* input
+    (A); Algorithm 3 must not attempt any fusion between the live-out
+    spaces themselves.
+    """
+    b = ProgramBuilder("bicg", params={})
+    A = b.tensor("A", (n, n))
+    r = b.tensor("r", (n,))
+    p = b.tensor("p", (n,))
+    s = b.tensor("s", (n,))
+    q = b.tensor("q", (n,))
+    i, j = b.iters("i", "j")
+    vec = f"0 <= i < {n}"
+    box = f"0 <= i < {n} and 0 <= j < {n}"
+
+    b.assign("Ss0", (i,), vec, s[i], 0)
+    b.reduce("Ss1", (i, j), box, s[i], A[j, i] * r[j])
+    b.assign("Sq0", (i,), vec, q[i], 0)
+    b.reduce("Sq1", (i, j), box, q[i], A[i, j] * p[j])
+    b.set_liveout("s", "q")
+    return b.build()
+
+
+def build_mvt(n: int = DEFAULT_N) -> Program:
+    """x1 += A y1; x2 += A^T y2 — in-place vector updates."""
+    b = ProgramBuilder("mvt", params={})
+    A = b.tensor("A", (n, n))
+    y1 = b.tensor("y1", (n,))
+    y2 = b.tensor("y2", (n,))
+    x1 = b.tensor("x1", (n,))
+    x2 = b.tensor("x2", (n,))
+    i, j = b.iters("i", "j")
+    box = f"0 <= i < {n} and 0 <= j < {n}"
+
+    b.reduce("Sx1", (i, j), box, x1[i], A[i, j] * y1[j])
+    b.reduce("Sx2", (i, j), box, x2[i], A[j, i] * y2[j])
+    b.set_liveout("x1", "x2")
+    return b.build()
+
+
+def build_doitgen(n: int = 64, p: Optional[int] = None) -> Program:
+    """sum[r, q, p] = A[r, q, s] * C4[s, p], copied back into A."""
+    p = p if p is not None else n
+    b = ProgramBuilder("doitgen", params={})
+    A = b.tensor("A", (n, n, p))
+    C4 = b.tensor("C4", (p, p))
+    S = b.tensor("S", (n, n, p))
+    Out = b.tensor("Out", (n, n, p))
+    r, q, pp, s = b.iters("r", "q", "p", "s")
+    box = f"0 <= r < {n} and 0 <= q < {n} and 0 <= p < {p}"
+    red = box + f" and 0 <= s < {p}"
+
+    b.assign("Sd0", (r, q, pp), box, S[r, q, pp], 0)
+    b.reduce("Sd1", (r, q, pp, s), red, S[r, q, pp], A[r, q, s] * C4[s, pp])
+    b.assign("Sd2", (r, q, pp), box, Out[r, q, pp], S[r, q, pp])
+    b.set_liveout("Out")
+    return b.build()
+
+
+BUILDERS.update(
+    {
+        "3mm": build_3mm,
+        "atax": build_atax,
+        "bicg": build_bicg,
+        "mvt": build_mvt,
+        "doitgen": build_doitgen,
+    }
+)

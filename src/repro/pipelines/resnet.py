@@ -1,0 +1,101 @@
+"""ResNet-50 layer table for the AI-accelerator experiment (Table III).
+
+The 53 convolutions of ResNet-50 (He et al., CVPR 2016), each followed by
+a batch normalisation (and ReLU), at training batch size.  The NPU model
+consumes these shapes directly; the polyhedral machinery is exercised by a
+representative conv+bn+relu operator pair lowered through ``optimize()``
+(see :func:`build_operator_pair`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Program, ProgramBuilder, relu
+from ..machine.npu import ConvLayer
+
+BATCH = 32
+
+
+def resnet50_layers(batch: int = BATCH) -> List[ConvLayer]:
+    """All 53 forward convolutions of ResNet-50."""
+    layers: List[ConvLayer] = [
+        ConvLayer("conv1", batch, 224, 224, 3, 64, k=7, stride=2)
+    ]
+    # (blocks, mid channels, in channels at stage entry, spatial size)
+    stages = [
+        (3, 64, 64, 56),
+        (4, 128, 256, 28),
+        (6, 256, 512, 14),
+        (3, 512, 1024, 7),
+    ]
+    for si, (blocks, mid, c_in_entry, hw) in enumerate(stages, start=2):
+        c_out = mid * 4
+        c_in = c_in_entry
+        for bi in range(blocks):
+            prefix = f"res{si}{chr(ord('a') + bi)}"
+            stride = 2 if (bi == 0 and si > 2) else 1
+            in_hw = hw * stride if stride == 2 else hw
+            if bi == 0:
+                layers.append(
+                    ConvLayer(
+                        f"{prefix}_proj", batch, in_hw, in_hw, c_in, c_out,
+                        k=1, stride=stride,
+                    )
+                )
+            layers.append(
+                ConvLayer(
+                    f"{prefix}_1x1a", batch, in_hw, in_hw, c_in, mid,
+                    k=1, stride=stride,
+                )
+            )
+            layers.append(
+                ConvLayer(f"{prefix}_3x3", batch, hw, hw, mid, mid, k=3)
+            )
+            layers.append(
+                ConvLayer(f"{prefix}_1x1b", batch, hw, hw, mid, c_out, k=1)
+            )
+            c_in = c_out
+    return layers
+
+
+def build_operator_pair(
+    h: int = 16, w: int = 16, kh: int = 3, kw: int = 3
+) -> Program:
+    """A conv + batchnorm + ReLU operator pair as a polyhedral program.
+
+    This is the shape the akg integration lowers per pair of operators:
+    the conv writes an intermediate feature map; batchnorm scale/shift and
+    ReLU consume it.  Post-tiling fusion keeps the feature map on chip.
+    """
+    b = ProgramBuilder("conv_bn", params={"H": h, "W": w, "KH": kh, "KW": kw})
+    X = b.tensor("X", ("H", "W"))
+    K = b.tensor("K", ("KH", "KW"))
+    F = b.tensor(
+        "F", (b.param("H") - b.param("KH") + 1, b.param("W") - b.param("KW") + 1)
+    )
+    G = b.tensor("gamma", (1,))
+    B2 = b.tensor("beta", (1,))
+    Y = b.tensor(
+        "Y", (b.param("H") - b.param("KH") + 1, b.param("W") - b.param("KW") + 1)
+    )
+    hi, wi, khi, kwi = b.iters("h", "w", "kh", "kw")
+    out_box = "0 <= h <= H - KH and 0 <= w <= W - KW"
+
+    b.assign("Sconv0", (hi, wi), out_box, F[hi, wi], 0)
+    b.reduce(
+        "Sconv1",
+        (hi, wi, khi, kwi),
+        out_box + " and 0 <= kh < KH and 0 <= kw < KW",
+        F[hi, wi],
+        X[hi + khi, wi + kwi] * K[khi, kwi],
+    )
+    b.assign(
+        "Sbn",
+        (hi, wi),
+        out_box,
+        Y[hi, wi],
+        relu(F[hi, wi] * G[0] + B2[0]),
+    )
+    b.set_liveout("Y")
+    return b.build()

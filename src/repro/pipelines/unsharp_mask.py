@@ -1,0 +1,47 @@
+"""Unsharp Mask — 4 stages (Table I).
+
+blur_x → blur_y → sharpen (against the original) → masked select.  The
+original input is read again by the two late stages, which is what makes
+fusion profitable and tile footprints overlap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import Program, vmax
+from .common import ImagePipeline
+
+
+def build(size: int = 2048) -> Program:
+    p = ImagePipeline("unsharp_mask")
+    img = p.source("in_img", size, size)
+    bx = p.blur_x("blurx", img, radius=1)
+    by = p.blur_y("blury", bx, radius=1)
+    sharpen = p.pointwise(
+        "sharpen", [img, by], lambda a, b: a * 2.0 - b
+    )
+    masked = p.pointwise(
+        "masked",
+        [img, sharpen, by],
+        lambda a, s, b: vmax(a - b, 0.0) * 0.0 + s * 0.5 + a * 0.5,
+    )
+    return p.build([masked])
+
+
+def halide_partition(prog: Program) -> List[List[str]]:
+    """Halide's manual schedule: blur_x materialised, the rest fused."""
+    stages = prog.stages  # type: ignore[attr-defined]
+    return [stages[0], stages[1] + stages[2] + stages[3]]
+
+
+# Auto-tuned parameters from Table I.
+TILE_SIZES = (8, 512)
+GPU_GRID = (8, 32)
+STAGE_COUNT = 4
+
+
+def polymage_partition(prog: Program) -> List[List[str]]:
+    """PolyMage's grouping model stops at the blur_x boundary."""
+    s = prog.stages  # type: ignore[attr-defined]
+    return [s[0], s[1] + s[2] + s[3]]

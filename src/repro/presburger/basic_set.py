@@ -1,0 +1,217 @@
+"""Basic sets: conjunctions of affine constraints over a :class:`SetSpace`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .constraint import EQ, GE, Constraint
+from .fm import (
+    FeasibilityUndecided,
+    bounds_for_symbol,
+    constraint_symbols,
+    eliminate_symbols,
+    find_integer_point,
+    prune_redundant,
+    rational_feasible,
+)
+from .linexpr import LinExpr
+from .space import SetSpace
+
+
+class BasicSet:
+    """An integer set ``{ name[dims] : constraints }``.
+
+    Constraints may mention dims and params only.  Immutable.
+    """
+
+    __slots__ = ("space", "constraints", "_empty")
+
+    def __init__(self, space: SetSpace, constraints: Iterable[Constraint] = ()):
+        constraints = tuple(c for c in constraints if not c.is_trivially_true())
+        allowed = set(space.dims) | set(space.params)
+        for c in constraints:
+            bad = [s for s in c.expr.symbols() if s not in allowed]
+            if bad:
+                raise ValueError(
+                    f"constraint {c} mentions {bad} outside space {space} "
+                    f"(params {space.params})"
+                )
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "constraints", constraints)
+        object.__setattr__(self, "_empty", None)
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("BasicSet is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def universe(space: SetSpace) -> "BasicSet":
+        return BasicSet(space, ())
+
+    @staticmethod
+    def empty(space: SetSpace) -> "BasicSet":
+        return BasicSet(space, (Constraint(LinExpr({}, -1), GE),))
+
+    # -- basic queries -----------------------------------------------------
+
+    def is_obviously_empty(self) -> bool:
+        return any(c.is_trivially_false() for c in self.constraints)
+
+    def is_empty(self) -> bool:
+        """Exact integer emptiness (falls back to rational when undecided)."""
+        if self._empty is not None:
+            return self._empty
+        if self.is_obviously_empty():
+            result = True
+        else:
+            try:
+                result = find_integer_point(list(self.constraints)) is None
+            except FeasibilityUndecided:
+                # Rational feasibility is an over-approximation: non-empty.
+                result = False
+        object.__setattr__(self, "_empty", result)
+        return result
+
+    def sample(self) -> Optional[Dict[str, int]]:
+        """An integer point (dims and any free params), or None if empty."""
+        return find_integer_point(list(self.constraints), list(self.space.dims) + list(self.space.params))
+
+    def contains(self, point: Mapping[str, int]) -> bool:
+        return all(c.satisfied_by(point) for c in self.constraints)
+
+    def involves(self, syms: Iterable[str]) -> bool:
+        syms = list(syms)
+        return any(c.involves(syms) for c in self.constraints)
+
+    # -- algebra -----------------------------------------------------------
+
+    def intersect(self, other: "BasicSet") -> "BasicSet":
+        if self.space != other.space:
+            raise ValueError(f"space mismatch: {self.space} vs {other.space}")
+        return BasicSet(self.space, self.constraints + other.constraints)
+
+    def project_out(self, dims: Sequence[str]) -> "BasicSet":
+        """Existentially quantify ``dims`` (Fourier–Motzkin)."""
+        missing = [d for d in dims if d not in self.space.dims]
+        if missing:
+            raise ValueError(f"cannot project out non-dims {missing} of {self.space}")
+        cons = eliminate_symbols(list(self.constraints), list(dims))
+        return BasicSet(self.space.drop_dims(dims), cons)
+
+    def fix(self, binding: Mapping[str, int]) -> "BasicSet":
+        """Substitute concrete integer values for dims and/or params."""
+        cons = [c.substitute(binding) for c in self.constraints]
+        dims = tuple(d for d in self.space.dims if d not in binding)
+        params = tuple(p for p in self.space.params if p not in binding)
+        return BasicSet(SetSpace(self.space.name, dims, params), cons)
+
+    def fix_params(self, binding: Mapping[str, int]) -> "BasicSet":
+        binding = {k: v for k, v in binding.items() if k in self.space.params}
+        return self.fix(binding)
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "BasicSet":
+        return BasicSet(
+            self.space.rename_dims(dict(mapping)),
+            [c.rename(mapping) for c in self.constraints],
+        )
+
+    def with_name(self, name: str) -> "BasicSet":
+        return BasicSet(
+            SetSpace(name, self.space.dims, self.space.params), self.constraints
+        )
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> "BasicSet":
+        return BasicSet(self.space, self.constraints + tuple(constraints))
+
+    def simplify(self) -> "BasicSet":
+        if self.is_obviously_empty():
+            return BasicSet.empty(self.space)
+        return BasicSet(self.space, prune_redundant(list(self.constraints)))
+
+    def is_subset(self, other: "BasicSet") -> bool:
+        """self ⊆ other, exactly over the integers for bounded sets."""
+        if self.space.dims != other.space.dims:
+            raise ValueError("space mismatch in is_subset")
+        for c in other.constraints:
+            for neg in c.negated():
+                probe = BasicSet(self.space, self.constraints + (neg,))
+                if not probe.is_empty():
+                    return False
+        return True
+
+    def is_subset_rational(self, other: "BasicSet") -> bool:
+        """Sound under-approximation of ⊆ using rational emptiness only.
+
+        ``True`` guarantees integer containment (rational emptiness implies
+        integer emptiness); ``False`` may be a false negative.  Used where
+        containment only prunes redundancy (coalescing).
+        """
+        if self.space.dims != other.space.dims:
+            raise ValueError("space mismatch in is_subset_rational")
+        for c in other.constraints:
+            for neg in c.negated():
+                probe = list(self.constraints) + [neg]
+                if rational_feasible(probe):
+                    return False
+        return True
+
+    # -- bounds / counting -------------------------------------------------
+
+    def dim_bounds(
+        self, dim: str, binding: Mapping[str, int]
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Integer bounds of ``dim`` once all other symbols are bound."""
+        lo, hi, _ = bounds_for_symbol(list(self.constraints), dim, dict(binding))
+        return lo, hi
+
+    def bounding_box(
+        self, params: Mapping[str, int] | None = None
+    ) -> Dict[str, Tuple[Optional[int], Optional[int]]]:
+        """Per-dimension bounds of the rational projection onto each dim."""
+        fixed = self.fix_params(params or {})
+        box: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        for dim in fixed.space.dims:
+            others = [d for d in fixed.space.dims if d != dim]
+            proj = eliminate_symbols(list(fixed.constraints), others)
+            lo, hi, _ = bounds_for_symbol(proj, dim, {})
+            box[dim] = (lo, hi)
+        return box
+
+    def box_volume(self, params: Mapping[str, int] | None = None) -> int:
+        """Volume of the bounding box (an upper bound on the point count)."""
+        total = 1
+        for lo, hi in self.bounding_box(params).values():
+            if lo is None or hi is None:
+                raise ValueError(f"unbounded set {self}")
+            if hi < lo:
+                return 0
+            total *= hi - lo + 1
+        return total
+
+    def count_points(self, params: Mapping[str, int] | None = None) -> int:
+        """Exact number of integer points (enumerative; set must be bounded)."""
+        from .enumerate import enumerate_points
+
+        return sum(1 for _ in enumerate_points(self, params or {}))
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BasicSet):
+            return NotImplemented
+        if self.space != other.space:
+            return False
+        return self.is_subset(other) and other.is_subset(self)
+
+    def __hash__(self) -> int:  # structural hash; semantic eq is richer
+        return hash((self.space, frozenset(self.constraints)))
+
+    def __repr__(self) -> str:
+        return f"BasicSet({self})"
+
+    def __str__(self) -> str:
+        cons = " and ".join(str(c) for c in self.constraints)
+        body = str(self.space) + (f" : {cons}" if cons else "")
+        params = f"[{', '.join(self.space.params)}] -> " if self.space.params else ""
+        return f"{params}{{ {body} }}"

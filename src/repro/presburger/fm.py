@@ -1,0 +1,258 @@
+"""Fourier–Motzkin elimination and integer feasibility machinery.
+
+These functions operate on bare lists of :class:`Constraint` objects; the
+set/map classes layer space bookkeeping on top.
+
+FM elimination is exact over the rationals.  Over the integers it is exact
+whenever the eliminated symbol has a unit coefficient in every lower or every
+upper bound — which holds for all constraint systems this package builds
+(loop bounds, tile containment with constant tile sizes, stencil footprints).
+Integer feasibility is decided exactly for bounded systems by FM-guided
+backtracking search.
+"""
+
+from __future__ import annotations
+
+from math import ceil, floor, gcd
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .constraint import EQ, GE, Constraint
+from .linexpr import LinExpr
+
+
+class FeasibilityUndecided(Exception):
+    """Raised when integer feasibility search exceeds its budget."""
+
+
+def _dedupe(constraints: Iterable[Constraint]) -> List[Constraint]:
+    seen = set()
+    out = []
+    for c in constraints:
+        if c.is_trivially_true():
+            continue
+        if c not in seen:
+            seen.add(c)
+            out.append(c)
+    return out
+
+
+def eliminate_symbol(constraints: Sequence[Constraint], sym: str) -> List[Constraint]:
+    """Project ``sym`` out of the conjunction of ``constraints``."""
+    # Prefer substitution through an equality when available: exact over Z.
+    eq = None
+    for c in constraints:
+        if c.kind == EQ and c.coeff(sym) != 0:
+            if eq is None or abs(c.coeff(sym)) < abs(eq.coeff(sym)):
+                eq = c
+            if abs(c.coeff(sym)) == 1:
+                eq = c
+                break
+    if eq is not None:
+        return _dedupe(_eliminate_via_equality(constraints, sym, eq))
+
+    lowers: List[Tuple[int, Constraint]] = []  # a > 0 in a*sym + e >= 0
+    uppers: List[Tuple[int, Constraint]] = []  # a < 0 in a*sym + e >= 0
+    rest: List[Constraint] = []
+    for c in constraints:
+        a = c.coeff(sym)
+        if a == 0:
+            rest.append(c)
+        elif a > 0:
+            lowers.append((a, c))
+        else:
+            uppers.append((-a, c))
+    for al, cl in lowers:
+        for au, cu in uppers:
+            # cl: al*sym + el >= 0, cu: -au*sym + eu >= 0
+            # combine: au*el + al*eu >= 0
+            el = cl.expr - LinExpr({sym: al})
+            eu = cu.expr + LinExpr({sym: au})
+            rest.append(Constraint(el * au + eu * al, GE))
+    return _dedupe(rest)
+
+
+def _eliminate_via_equality(
+    constraints: Sequence[Constraint], sym: str, eq: Constraint
+) -> List[Constraint]:
+    a = eq.coeff(sym)
+    out = []
+    if abs(a) == 1:
+        # sym = -sign(a) * (eq.expr - a*sym)
+        rest_expr = eq.expr - LinExpr({sym: a})
+        replacement = rest_expr * (-1 if a == 1 else 1)
+        for c in constraints:
+            if c is eq:
+                continue
+            out.append(c.substitute({sym: replacement}))
+        return out
+    # General integer-exact combination: add the right multiple of eq.expr
+    # (which equals zero) to cancel sym; scale the other constraint by |a|
+    # (positive, so inequality direction is preserved).
+    for c in constraints:
+        if c is eq:
+            continue
+        b = c.coeff(sym)
+        if b == 0:
+            out.append(c)
+            continue
+        k = -(b * abs(a)) // a
+        out.append(Constraint(c.expr * abs(a) + eq.expr * k, c.kind))
+    # |a| > 1: sym must exist with a*sym = -rest; record divisibility loss —
+    # the projection may be a rational over-approximation.  For the constraint
+    # systems in this package |a| is always 1 or a tile size dividing evenly.
+    return out
+
+
+def eliminate_symbols(
+    constraints: Sequence[Constraint], syms: Sequence[str]
+) -> List[Constraint]:
+    cur = list(constraints)
+    for sym in syms:
+        cur = eliminate_symbol(cur, sym)
+    return cur
+
+
+def constraint_symbols(constraints: Iterable[Constraint]) -> List[str]:
+    seen: Dict[str, None] = {}
+    for c in constraints:
+        for s in c.expr.symbols():
+            seen.setdefault(s)
+    return list(seen)
+
+
+def rational_feasible(constraints: Sequence[Constraint]) -> bool:
+    """Whether the conjunction has a rational solution (exact via FM)."""
+    cur = _dedupe(constraints)
+    for c in cur:
+        if c.is_trivially_false():
+            return False
+    syms = constraint_symbols(cur)
+    for sym in syms:
+        cur = eliminate_symbol(cur, sym)
+        for c in cur:
+            if c.is_trivially_false():
+                return False
+    return True
+
+
+def bounds_for_symbol(
+    constraints: Sequence[Constraint], sym: str, binding: Dict[str, int]
+) -> Tuple[Optional[int], Optional[int], bool]:
+    """Integer bounds for ``sym`` under ``binding`` of all other symbols.
+
+    Returns ``(lower, upper, exact)``; ``None`` means unbounded on that side.
+    ``exact`` is False when equality constraints pin the value inconsistently.
+    """
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    for c in constraints:
+        a = c.coeff(sym)
+        if a == 0:
+            continue
+        rest = c.expr - LinExpr({sym: a})
+        val = rest.eval(binding)
+        if c.kind == EQ:
+            # a*sym + val == 0  ->  sym == -val / a
+            if val % a != 0:
+                return 1, 0, True  # empty
+            point = -val // a
+            lo = point if lo is None else max(lo, point)
+            hi = point if hi is None else min(hi, point)
+        elif a > 0:
+            # sym >= ceil(-val / a)
+            bound = ceil(-val / a)
+            lo = bound if lo is None else max(lo, bound)
+        else:
+            # sym <= floor(val / -a)
+            bound = floor(val / -a)
+            hi = bound if hi is None else min(hi, bound)
+    return lo, hi, True
+
+
+def find_integer_point(
+    constraints: Sequence[Constraint],
+    syms: Optional[Sequence[str]] = None,
+    max_steps: int = 50000,
+    max_range: int = 4096,
+) -> Optional[Dict[str, int]]:
+    """Search for an integer solution; ``None`` when provably none exists.
+
+    Raises :class:`FeasibilityUndecided` if the search budget is exhausted
+    (unbounded or enormous systems).
+    """
+    cur = _dedupe(constraints)
+    for c in cur:
+        if c.is_trivially_false():
+            return None
+    if syms is None:
+        syms = constraint_symbols(cur)
+    syms = [s for s in syms if any(c.coeff(s) for c in cur)]
+    if not syms:
+        return {}
+
+    # Build the elimination tower: towers[i] involves only syms[:i].  A
+    # trivially-false constraint surfacing anywhere (in particular in
+    # towers[0], the full projection) proves rational infeasibility.
+    towers: List[List[Constraint]] = [None] * (len(syms) + 1)  # type: ignore
+    towers[len(syms)] = cur
+    for i in range(len(syms) - 1, -1, -1):
+        towers[i] = eliminate_symbol(towers[i + 1], syms[i])
+        for c in towers[i]:
+            if c.is_trivially_false():
+                return None
+
+    steps = 0
+
+    def descend(level: int, binding: Dict[str, int]) -> Optional[Dict[str, int]]:
+        nonlocal steps
+        if level == len(syms):
+            if all(c.satisfied_by(binding) for c in cur):
+                return dict(binding)
+            return None
+        sym = syms[level]
+        lo, hi, _ = bounds_for_symbol(towers[level + 1], sym, binding)
+        if lo is None and hi is None:
+            lo, hi = 0, 0
+        elif lo is None:
+            lo = hi - max_range
+        elif hi is None:
+            hi = lo + max_range
+        if hi - lo > max_range:
+            hi = lo + max_range
+        for val in range(lo, hi + 1):
+            steps += 1
+            if steps > max_steps:
+                raise FeasibilityUndecided(
+                    f"integer search budget exhausted over {syms}"
+                )
+            binding[sym] = val
+            found = descend(level + 1, binding)
+            if found is not None:
+                return found
+        binding.pop(sym, None)
+        return None
+
+    result = descend(0, {})
+    if result is None and steps > max_steps * 0.9:  # pragma: no cover - safety
+        raise FeasibilityUndecided("search terminated near budget; inconclusive")
+    return result
+
+
+def prune_redundant(constraints: Sequence[Constraint]) -> List[Constraint]:
+    """Drop constraints implied (rationally) by the others."""
+    cur = _dedupe(constraints)
+    kept: List[Constraint] = list(cur)
+    i = 0
+    while i < len(kept):
+        candidate = kept[i]
+        if candidate.kind == EQ:
+            i += 1
+            continue
+        others = kept[:i] + kept[i + 1 :]
+        negs = candidate.negated()
+        implied = all(not rational_feasible(list(others) + [n]) for n in negs)
+        if implied:
+            kept.pop(i)
+        else:
+            i += 1
+    return kept

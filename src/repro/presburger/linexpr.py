@@ -1,0 +1,184 @@
+"""Exact integer affine expressions over named symbols.
+
+``LinExpr`` is the shared currency of the whole package: constraints,
+schedules, access functions and tile bounds are all built from them.  All
+arithmetic is exact over Python integers.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Number = int
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff[s] * s) + const`` with integer coeffs.
+
+    Immutable.  Symbols are plain strings (iterator, tile-dimension or
+    parameter names).  Zero coefficients are normalised away so equality and
+    hashing behave structurally.
+    """
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, int] | None = None, const: int = 0):
+        clean: Dict[str, int] = {}
+        if coeffs:
+            for sym, c in coeffs.items():
+                if not isinstance(c, int):
+                    raise TypeError(f"coefficient for {sym!r} must be int, got {type(c)}")
+                if c != 0:
+                    clean[sym] = c
+        if not isinstance(const, int):
+            raise TypeError(f"constant must be int, got {type(const)}")
+        object.__setattr__(self, "coeffs", clean)
+        object.__setattr__(self, "const", const)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("LinExpr is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        return LinExpr({name: 1})
+
+    @staticmethod
+    def const_expr(value: int) -> "LinExpr":
+        return LinExpr({}, value)
+
+    @staticmethod
+    def coerce(value: Union["LinExpr", int, str]) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, int):
+            return LinExpr({}, value)
+        if isinstance(value, str):
+            return LinExpr.var(value)
+        raise TypeError(f"cannot coerce {value!r} to LinExpr")
+
+    # -- queries -----------------------------------------------------------
+
+    def symbols(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.coeffs))
+
+    def coeff(self, sym: str) -> int:
+        return self.coeffs.get(sym, 0)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def involves(self, syms: Iterable[str]) -> bool:
+        return any(s in self.coeffs for s in syms)
+
+    def content(self) -> int:
+        """GCD of all coefficients (not the constant); 0 for constant exprs."""
+        g = 0
+        for c in self.coeffs.values():
+            g = gcd(g, abs(c))
+        return g
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = LinExpr.coerce(other)
+        coeffs = dict(self.coeffs)
+        for sym, c in other.coeffs.items():
+            coeffs[sym] = coeffs.get(sym, 0) + c
+        return LinExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({s: -c for s, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-LinExpr.coerce(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return LinExpr.coerce(other) + (-self)
+
+    def __mul__(self, factor: int) -> "LinExpr":
+        if not isinstance(factor, int):
+            raise TypeError("LinExpr can only be scaled by an int")
+        return LinExpr({s: c * factor for s, c in self.coeffs.items()}, self.const * factor)
+
+    __rmul__ = __mul__
+
+    def scale_down_exact(self, divisor: int) -> "LinExpr":
+        if divisor == 0:
+            raise ZeroDivisionError
+        coeffs = {}
+        for sym, c in self.coeffs.items():
+            if c % divisor:
+                raise ValueError(f"{self} not exactly divisible by {divisor}")
+            coeffs[sym] = c // divisor
+        if self.const % divisor:
+            raise ValueError(f"{self} not exactly divisible by {divisor}")
+        return LinExpr(coeffs, self.const // divisor)
+
+    # -- substitution ------------------------------------------------------
+
+    def substitute(self, binding: Mapping[str, Union["LinExpr", int]]) -> "LinExpr":
+        """Replace symbols with expressions or integers."""
+        result = LinExpr({}, self.const)
+        for sym, c in self.coeffs.items():
+            if sym in binding:
+                result = result + LinExpr.coerce(binding[sym]) * c
+            else:
+                result = result + LinExpr({sym: c})
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        return LinExpr({mapping.get(s, s): c for s, c in self.coeffs.items()}, self.const)
+
+    def eval(self, binding: Mapping[str, int]) -> int:
+        total = self.const
+        for sym, c in self.coeffs.items():
+            total += c * binding[sym]
+        return total
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(
+                self, "_hash", hash((frozenset(self.coeffs.items()), self.const))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for sym in sorted(self.coeffs):
+            c = self.coeffs[sym]
+            if c == 1:
+                parts.append(f"+ {sym}")
+            elif c == -1:
+                parts.append(f"- {sym}")
+            elif c > 0:
+                parts.append(f"+ {c}{sym}")
+            else:
+                parts.append(f"- {-c}{sym}")
+        if self.const > 0 or not parts:
+            parts.append(f"+ {self.const}")
+        elif self.const < 0:
+            parts.append(f"- {-self.const}")
+        text = " ".join(parts)
+        if text.startswith("+ "):
+            text = text[2:]
+        return text
+
+
+V = LinExpr.var
+C = LinExpr.const_expr

@@ -1,0 +1,233 @@
+"""Maps: finite unions of basic maps over one map space."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .basic_map import BasicMap
+from .basic_set import BasicSet
+from .set_ import Set
+from .space import MapSpace, SetSpace
+
+
+class Map:
+    """A union of :class:`BasicMap` pieces sharing a map space."""
+
+    __slots__ = ("space", "pieces")
+
+    def __init__(self, space: MapSpace, pieces: Iterable[BasicMap] = ()):
+        clean: List[BasicMap] = []
+        for p in pieces:
+            if (
+                p.space.in_dims != space.in_dims
+                or p.space.out_dims != space.out_dims
+                or p.space.in_name != space.in_name
+                or p.space.out_name != space.out_name
+            ):
+                raise ValueError(f"piece space {p.space} != {space}")
+            clean.append(p)
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "pieces", tuple(clean))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Map is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_basic(bmap: BasicMap) -> "Map":
+        return Map(bmap.space, [bmap])
+
+    @staticmethod
+    def empty(space: MapSpace) -> "Map":
+        return Map(space, [])
+
+    # -- conversions -------------------------------------------------------
+
+    def wrap(self) -> Set:
+        space = SetSpace(
+            f"{self.space.in_name}->{self.space.out_name}",
+            self.space.in_dims + self.space.out_dims,
+            self.space.params,
+        )
+        return Set(space, [BasicSet(space, p.constraints) for p in self.pieces])
+
+    # -- queries -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return all(p.is_empty() for p in self.pieces)
+
+    def is_subset(self, other: "Map") -> bool:
+        return self.wrap().is_subset(other.wrap())
+
+    def is_equal(self, other: "Map") -> bool:
+        return self.wrap().is_equal(other.wrap())
+
+    # -- algebra -----------------------------------------------------------
+
+    def union(self, other: "Map") -> "Map":
+        if (
+            self.space.in_dims != other.space.in_dims
+            or self.space.out_dims != other.space.out_dims
+        ):
+            raise ValueError(f"space mismatch: {self.space} vs {other.space}")
+        params = tuple(dict.fromkeys(self.space.params + other.space.params))
+        space = self.space.with_params(params)
+        return Map(space, _reparam(self.pieces, params) + _reparam(other.pieces, params))
+
+    def intersect(self, other: "Map") -> "Map":
+        params = tuple(dict.fromkeys(self.space.params + other.space.params))
+        space = self.space.with_params(params)
+        out = []
+        for a in _reparam(self.pieces, params):
+            for b in _reparam(other.pieces, params):
+                out.append(a.intersect(b))
+        return Map(space, out)
+
+    def subtract(self, other: "Map") -> "Map":
+        diff = self.wrap().subtract(other.wrap())
+        return _unwrap(diff, self.space)
+
+    def reverse(self) -> "Map":
+        return Map(self.space.reversed(), [p.reverse() for p in self.pieces])
+
+    def domain(self) -> Set:
+        pieces = [p.domain() for p in self.pieces]
+        return Set(self.space.domain_space, pieces)
+
+    def range(self) -> Set:
+        pieces = [p.range() for p in self.pieces]
+        return Set(self.space.range_space, pieces)
+
+    def intersect_domain(self, dom: Set) -> "Map":
+        out = []
+        for p in self.pieces:
+            for d in dom.pieces:
+                out.append(p.intersect_domain(d))
+        params = tuple(dict.fromkeys(self.space.params + dom.space.params))
+        return Map(self.space.with_params(params), _reparam(out, params))
+
+    def intersect_range(self, rng: Set) -> "Map":
+        out = []
+        for p in self.pieces:
+            for r in rng.pieces:
+                out.append(p.intersect_range(r))
+        params = tuple(dict.fromkeys(self.space.params + rng.space.params))
+        return Map(self.space.with_params(params), _reparam(out, params))
+
+    def apply_range(self, other: "Map") -> "Map":
+        out = []
+        space = None
+        for a in self.pieces:
+            for b in other.pieces:
+                piece = a.apply_range(b)
+                space = piece.space
+                out.append(piece)
+        if space is None:
+            params = tuple(dict.fromkeys(self.space.params + other.space.params))
+            space = MapSpace(
+                self.space.in_name,
+                self.space.in_dims,
+                other.space.out_name,
+                other.space.out_dims,
+                params,
+            )
+            return Map(space, [])
+        # Align piece out-dim names (fresh_names may differ across pieces).
+        canon = out[0].space
+        aligned = []
+        for p in out:
+            mapping = dict(zip(p.space.out_dims, canon.out_dims))
+            aligned.append(p.rename_dims(mapping))
+        return Map(canon, aligned)
+
+    def apply_to_set(self, s: Set) -> Set:
+        pieces: List[BasicSet] = []
+        for p in self.pieces:
+            for b in s.pieces:
+                pieces.append(p.apply_to_set(b))
+        params = tuple(dict.fromkeys(self.space.params + s.space.params))
+        space = self.space.range_space.with_params(params)
+        return Set(space, [BasicSet(space.with_params(params), q.constraints) for q in pieces])
+
+    def fix(self, binding: Mapping[str, int]) -> "Map":
+        pieces = [p.fix(binding) for p in self.pieces]
+        if pieces:
+            return Map(pieces[0].space, pieces)
+        in_dims = tuple(d for d in self.space.in_dims if d not in binding)
+        out_dims = tuple(d for d in self.space.out_dims if d not in binding)
+        params = tuple(p for p in self.space.params if p not in binding)
+        return Map(
+            MapSpace(self.space.in_name, in_dims, self.space.out_name, out_dims, params),
+            [],
+        )
+
+    def fix_params(self, binding: Mapping[str, int]) -> "Map":
+        binding = {k: v for k, v in binding.items() if k in self.space.params}
+        return self.fix(binding)
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "Map":
+        return Map(
+            self.space.rename_dims(dict(mapping)),
+            [p.rename_dims(mapping) for p in self.pieces],
+        )
+
+    def with_names(self, in_name: str, out_name: str) -> "Map":
+        return Map(
+            MapSpace(in_name, self.space.in_dims, out_name, self.space.out_dims, self.space.params),
+            [p.with_names(in_name, out_name) for p in self.pieces],
+        )
+
+    def dedupe(self) -> "Map":
+        return _unwrap(self.wrap().dedupe(), self.space)
+
+    def pattern_hull(self) -> "Map":
+        """Over-approximating merge of same-pattern pieces (see Set)."""
+        return _unwrap(self.wrap().pattern_hull(), self.space)
+
+    def coalesce(self) -> "Map":
+        return _unwrap(self.wrap().coalesce(), self.space)
+
+    def simplify(self) -> "Map":
+        return _unwrap(self.wrap().simplify(), self.space)
+
+    def image_of_point(self, point: Mapping[str, int]) -> Set:
+        """Set of out-points for a concrete in-point."""
+        pieces = []
+        for p in self.pieces:
+            pieces.append(p.image_of_point(point))
+        space = self.space.range_space
+        return Set(space, [BasicSet(space, q.constraints) for q in pieces])
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Map):
+            return NotImplemented
+        return self.is_equal(other)
+
+    def __repr__(self) -> str:
+        return f"Map({self})"
+
+    def __str__(self) -> str:
+        if not self.pieces:
+            return f"{{ {self.space} : false }}"
+        return " ∪ ".join(str(p) for p in self.pieces)
+
+    def __iter__(self):
+        return iter(self.pieces)
+
+    def __len__(self):
+        return len(self.pieces)
+
+
+def _reparam(pieces: Sequence[BasicMap], params: Tuple[str, ...]):
+    return [BasicMap(p.space.with_params(params), p.constraints) for p in pieces]
+
+
+def _unwrap(s: Set, space: MapSpace) -> Map:
+    params = tuple(dict.fromkeys(space.params + s.space.params))
+    mspace = space.with_params(params)
+    return Map(
+        mspace, [BasicMap(mspace, p.constraints) for p in s.pieces]
+    )

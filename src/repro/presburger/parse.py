@@ -1,0 +1,305 @@
+"""A small parser for isl-like set/map notation.
+
+Examples::
+
+    parse_set("[H, W] -> { S0[h, w] : 0 <= h < H and 0 <= w < W }")
+    parse_map("{ S2[h, w, kh, kw] -> A[h + kh, w + kw] : 0 <= kh < 3 }")
+    parse_union_set("{ S0[h, w] : ... ; S1[h, w] : ... }")
+
+Supported syntax:
+
+* optional parameter prologue ``[P, Q] ->``
+* one or more items separated by ``;``
+* an item is ``Name[dims]`` (set) or ``Name[dims] -> Name[exprs]`` (map),
+  optionally followed by ``: condition``
+* conditions: ``and``-connected comparison chains (``0 <= h < H``), with
+  ``or`` producing unions; comparators ``<= < >= > = ==``
+* affine expressions with ``+ - *`` (multiplication by integer literals only)
+* map output tuples may contain affine expressions (``A[h + kh]``)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .basic_map import BasicMap
+from .basic_set import BasicSet
+from .constraint import Constraint
+from .linexpr import LinExpr
+from .map_ import Map
+from .set_ import Set
+from .space import MapSpace, SetSpace, fresh_names
+from .union import UnionMap, UnionSet
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_']*)|(?P<int>\d+)|(?P<op>->|<=|>=|==|[-+*{}\[\],;:<>=()]))"
+)
+
+_KEYWORDS = {"and", "or"}
+
+
+class ParseError(ValueError):
+    pass
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"cannot tokenize at: {text[pos:pos + 20]!r}")
+        tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise ParseError(f"expected {tok!r}, got {got!r}")
+
+    def accept(self, tok: str) -> bool:
+        if self.peek() == tok:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self):
+        params: Tuple[str, ...] = ()
+        if self.peek() == "[":
+            params = tuple(self._name_list())
+            self.expect("->")
+        self.expect("{")
+        items = []
+        if self.peek() != "}":
+            items.append(self._item(params))
+            while self.accept(";"):
+                if self.peek() == "}":
+                    break
+                items.append(self._item(params))
+        self.expect("}")
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return params, items
+
+    def _name_list(self) -> List[str]:
+        self.expect("[")
+        names = []
+        if self.peek() != "]":
+            names.append(self.next())
+            while self.accept(","):
+                names.append(self.next())
+        self.expect("]")
+        return names
+
+    def _item(self, params):
+        name1, dims1 = self._tuple_header()
+        for d in dims1:
+            if not isinstance(d, str):
+                raise ParseError("input tuple dims must be plain identifiers")
+        arrow = self.accept("->")
+        name2 = dims2 = None
+        if arrow:
+            name2, dims2 = self._tuple_header()
+        conds: List[List[Constraint]] = [[]]
+        if self.accept(":"):
+            conds = self._condition(set(dims1) | (set() if not arrow else set()))
+        return (name1, tuple(dims1), name2, dims2, conds)
+
+    def _tuple_header(self):
+        name = ""
+        if self.peek() not in ("[",):
+            name = self.next()
+        self.expect("[")
+        entries: List[Union[str, LinExpr]] = []
+        if self.peek() != "]":
+            entries.append(self._dim_entry())
+            while self.accept(","):
+                entries.append(self._dim_entry())
+        self.expect("]")
+        return name, entries
+
+    def _dim_entry(self):
+        # A bare identifier stays a string (a dim name); anything else is an
+        # affine expression.
+        start = self.pos
+        tok = self.peek()
+        if tok and re.match(r"[A-Za-z_]", tok) and tok not in _KEYWORDS:
+            self.pos += 1
+            if self.peek() in (",", "]"):
+                return tok
+            self.pos = start
+        return self._expr()
+
+    def _condition(self, _dims) -> List[List[Constraint]]:
+        """Returns a disjunction (list) of conjunctions (lists)."""
+        disjuncts = [self._conjunction()]
+        while self.accept("or"):
+            disjuncts.append(self._conjunction())
+        return disjuncts
+
+    def _conjunction(self) -> List[Constraint]:
+        cons = list(self._chain())
+        while self.accept("and"):
+            cons.extend(self._chain())
+        return cons
+
+    def _chain(self) -> List[Constraint]:
+        exprs = [self._expr()]
+        ops = []
+        while self.peek() in ("<", "<=", ">", ">=", "=", "=="):
+            ops.append(self.next())
+            exprs.append(self._expr())
+        if not ops:
+            raise ParseError("expected a comparison")
+        out = []
+        for (lhs, op, rhs) in zip(exprs, ops, exprs[1:]):
+            if op == "<":
+                out.append(Constraint.lt(lhs, rhs))
+            elif op == "<=":
+                out.append(Constraint.le(lhs, rhs))
+            elif op == ">":
+                out.append(Constraint.gt(lhs, rhs))
+            elif op == ">=":
+                out.append(Constraint.ge(lhs, rhs))
+            else:
+                out.append(Constraint.eq(lhs, rhs))
+        return out
+
+    def _expr(self) -> LinExpr:
+        expr = self._term()
+        while self.peek() in ("+", "-"):
+            op = self.next()
+            term = self._term()
+            expr = expr + term if op == "+" else expr - term
+        return expr
+
+    def _term(self) -> LinExpr:
+        if self.accept("-"):
+            return -self._term()
+        if self.accept("("):
+            inner = self._expr()
+            self.expect(")")
+            if self.accept("*"):
+                factor = self._term()
+                return _scale(inner, factor)
+            return inner
+        tok = self.next()
+        if tok.isdigit():
+            value = LinExpr.const_expr(int(tok))
+            if self.accept("*"):
+                return _scale(value, self._term())
+            return value
+        if re.match(r"[A-Za-z_]", tok):
+            var = LinExpr.var(tok)
+            if self.accept("*"):
+                return _scale(var, self._term())
+            return var
+        raise ParseError(f"unexpected token {tok!r} in expression")
+
+
+def _scale(a: LinExpr, b: LinExpr) -> LinExpr:
+    if a.is_constant():
+        return b * a.const
+    if b.is_constant():
+        return a * b.const
+    raise ParseError(f"non-linear product: ({a}) * ({b})")
+
+
+def _build_sets(params, items) -> Dict[str, Set]:
+    by_name: Dict[str, Set] = {}
+    for (name, dims, name2, _dims2, conds) in items:
+        if name2 is not None:
+            raise ParseError("found a map item while parsing a set")
+        space = SetSpace(name, dims, params)
+        pieces = [BasicSet(space, conj) for conj in conds]
+        new = Set(space, pieces)
+        if name in by_name:
+            prev = by_name[name]
+            if prev.space.dims != space.dims:
+                new = new.rename_dims(dict(zip(space.dims, prev.space.dims)))
+            by_name[name] = by_name[name].union(new)
+        else:
+            by_name[name] = new
+    return by_name
+
+
+def _build_maps(params, items) -> Dict[Tuple[str, str], Map]:
+    by_name: Dict[Tuple[str, str], Map] = {}
+    for (name, dims, name2, dims2, conds) in items:
+        if name2 is None:
+            raise ParseError("found a set item while parsing a map")
+        out_entries = list(dims2)
+        out_dims = []
+        eqs: List[Constraint] = []
+        taken = set(dims) | set(params)
+        for i, entry in enumerate(out_entries):
+            if isinstance(entry, str) and entry not in taken:
+                out_dims.append(entry)
+                taken.add(entry)
+            else:
+                expr = entry if isinstance(entry, LinExpr) else LinExpr.var(entry)
+                (od,) = fresh_names([f"o{i}"], taken)
+                taken.add(od)
+                out_dims.append(od)
+                eqs.append(Constraint.eq(LinExpr.var(od) - expr))
+        space = MapSpace(name, dims, name2, tuple(out_dims), params)
+        pieces = [BasicMap(space, list(conj) + eqs) for conj in conds]
+        new = Map(space, pieces)
+        key = (name, name2)
+        if key in by_name:
+            prev = by_name[key]
+            rename = dict(zip(space.in_dims, prev.space.in_dims))
+            rename.update(zip(space.out_dims, prev.space.out_dims))
+            new = new.rename_dims(rename)
+            by_name[key] = prev.union(new)
+        else:
+            by_name[key] = new
+    return by_name
+
+
+def parse_set(text: str) -> Set:
+    params, items = _Parser(_tokenize(text)).parse()
+    sets = _build_sets(params, items)
+    if len(sets) != 1:
+        raise ParseError(f"expected one tuple name, got {sorted(sets)}")
+    return next(iter(sets.values()))
+
+
+def parse_union_set(text: str) -> UnionSet:
+    params, items = _Parser(_tokenize(text)).parse()
+    return UnionSet(_build_sets(params, items))
+
+
+def parse_map(text: str) -> Map:
+    params, items = _Parser(_tokenize(text)).parse()
+    maps = _build_maps(params, items)
+    if len(maps) != 1:
+        raise ParseError(f"expected one map space, got {sorted(maps)}")
+    return next(iter(maps.values()))
+
+
+def parse_union_map(text: str) -> UnionMap:
+    params, items = _Parser(_tokenize(text)).parse()
+    return UnionMap(_build_maps(params, items))

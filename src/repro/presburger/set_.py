@@ -1,0 +1,366 @@
+"""Sets: finite unions of basic sets over one space."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .basic_set import BasicSet
+from .constraint import Constraint
+from .space import SetSpace
+
+
+class Set:
+    """A union of :class:`BasicSet` pieces sharing a space."""
+
+    __slots__ = ("space", "pieces")
+
+    def __init__(self, space: SetSpace, pieces: Iterable[BasicSet] = ()):
+        clean: List[BasicSet] = []
+        for p in pieces:
+            if p.space.dims != space.dims or p.space.name != space.name:
+                raise ValueError(f"piece space {p.space} != {space}")
+            if not p.is_obviously_empty():
+                clean.append(p)
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "pieces", tuple(clean))
+
+    def __setattr__(self, name, value):  # pragma: no cover
+        raise AttributeError("Set is immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def from_basic(bset: BasicSet) -> "Set":
+        return Set(bset.space, [bset])
+
+    @staticmethod
+    def empty(space: SetSpace) -> "Set":
+        return Set(space, [])
+
+    @staticmethod
+    def universe(space: SetSpace) -> "Set":
+        return Set(space, [BasicSet.universe(space)])
+
+    # -- queries -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return all(p.is_empty() for p in self.pieces)
+
+    def contains(self, point: Mapping[str, int]) -> bool:
+        return any(p.contains(point) for p in self.pieces)
+
+    def sample(self) -> Optional[Dict[str, int]]:
+        for p in self.pieces:
+            found = p.sample()
+            if found is not None:
+                return found
+        return None
+
+    def is_subset(self, other: "Set") -> bool:
+        return self.subtract(other).is_empty()
+
+    def is_equal(self, other: "Set") -> bool:
+        return self.is_subset(other) and other.is_subset(self)
+
+    # -- algebra -----------------------------------------------------------
+
+    def union(self, other: "Set") -> "Set":
+        if self.space.dims != other.space.dims or self.space.name != other.space.name:
+            raise ValueError(f"space mismatch: {self.space} vs {other.space}")
+        params = tuple(dict.fromkeys(self.space.params + other.space.params))
+        space = self.space.with_params(params)
+        return Set(space, _reparam(self.pieces, params) + _reparam(other.pieces, params))
+
+    def intersect(self, other: "Set") -> "Set":
+        if self.space.dims != other.space.dims or self.space.name != other.space.name:
+            raise ValueError(f"space mismatch: {self.space} vs {other.space}")
+        params = tuple(dict.fromkeys(self.space.params + other.space.params))
+        space = self.space.with_params(params)
+        out = []
+        for a in _reparam(self.pieces, params):
+            for b in _reparam(other.pieces, params):
+                piece = a.intersect(b)
+                if not piece.is_obviously_empty():
+                    out.append(piece)
+        return Set(space, out)
+
+    def subtract(self, other: "Set") -> "Set":
+        if self.space.dims != other.space.dims or self.space.name != other.space.name:
+            raise ValueError(f"space mismatch: {self.space} vs {other.space}")
+        params = tuple(dict.fromkeys(self.space.params + other.space.params))
+        space = self.space.with_params(params)
+        remaining = list(_reparam(self.pieces, params))
+        for b in _reparam(other.pieces, params):
+            next_remaining: List[BasicSet] = []
+            for a in remaining:
+                next_remaining.extend(_subtract_basic(a, b))
+            remaining = next_remaining
+        return Set(space, remaining)
+
+    def dedupe(self) -> "Set":
+        """Drop syntactically identical pieces (cheap, exact)."""
+        seen = set()
+        out = []
+        for p in self.pieces:
+            key = frozenset(p.constraints)
+            if key not in seen:
+                seen.add(key)
+                out.append(p)
+        return Set(self.space, out)
+
+    def pattern_hull(self) -> "Set":
+        """The *simple hull*: one piece over-approximating the union.
+
+        Equalities are expanded into inequality pairs; for every
+        coefficient pattern present in **all** pieces the weakest constant
+        is kept, other constraints are dropped.  The result contains every
+        piece (a sound over-approximation).  Exact when the pieces are
+        shifted copies of one region whose union is a box — the halo-merge
+        case this exists for.  Callers use it only where growth is sound
+        (footprints and extension schedules, which may legally recompute
+        more).
+        """
+        from .constraint import GE, Constraint
+
+        from .linexpr import LinExpr
+
+        live = [p for p in self.pieces if not p.is_obviously_empty()]
+        if len(live) <= 1:
+            return Set(self.space, live)
+
+        # Per piece: pattern -> effective (tightest) constant among that
+        # piece's own constraints with this pattern (EQs contribute both
+        # directions).
+        per_piece: List[Dict[frozenset, int]] = []
+        for p in live:
+            table: Dict[frozenset, int] = {}
+            for c in p.constraints:
+                ges = (
+                    [c]
+                    if c.kind == GE
+                    else [Constraint(c.expr, GE), Constraint(-c.expr, GE)]
+                )
+                for g in ges:
+                    key = frozenset(g.expr.coeffs.items())
+                    const = g.expr.const
+                    if key in table:
+                        table[key] = min(table[key], const)
+                    else:
+                        table[key] = const
+            per_piece.append(table)
+
+        # Hull only within groups sharing the same pattern *set*: the hull
+        # then keeps every pattern (so no piece loses a bound direction);
+        # pieces with genuinely different access structure (e.g. transposed
+        # reads) stay separate.
+        groups: Dict[frozenset, List[Dict[frozenset, int]]] = {}
+        order: List[frozenset] = []
+        for table in per_piece:
+            keyset = frozenset(table)
+            if keyset not in groups:
+                groups[keyset] = []
+                order.append(keyset)
+            groups[keyset].append(table)
+
+        out: List[BasicSet] = []
+        for keyset in order:
+            tables = groups[keyset]
+            cons = []
+            for key in keyset:
+                const = max(t[key] for t in tables)  # weakest bound wins
+                cons.append(Constraint(LinExpr(dict(key), const), GE))
+            out.append(BasicSet(self.space, cons))
+        return Set(self.space, out)
+
+    def coalesce(self) -> "Set":
+        """Drop pieces contained in other pieces and provably empty pieces.
+
+        Containment and emptiness use rational reasoning — sound for
+        dropping (never removes integer points), cheap on large unions.
+        """
+        from .fm import rational_feasible
+
+        live = [
+            p
+            for p in self.dedupe().pieces
+            if rational_feasible(list(p.constraints))
+        ]
+        dropped = [False] * len(live)
+        for i, p in enumerate(live):
+            for j, q in enumerate(live):
+                if i == j or dropped[i] or dropped[j]:
+                    continue
+                if p.is_subset_rational(q):
+                    if j > i and q.is_subset_rational(p):
+                        continue
+                    dropped[i] = True
+                    break
+        return Set(self.space, [p for p, d in zip(live, dropped) if not d])
+
+    def coalesce_exact(self) -> "Set":
+        """Integer-exact coalescing (original semantics; O(n^2) searches)."""
+        live = [p for p in self.pieces if not p.is_empty()]
+        dropped = [False] * len(live)
+        for i, p in enumerate(live):
+            for j, q in enumerate(live):
+                if i == j or dropped[i] or dropped[j]:
+                    continue
+                if p.is_subset(q):
+                    if j > i and q.is_subset(p):
+                        # Equal pieces: keep the earlier one, drop the later
+                        # when its turn comes.
+                        continue
+                    dropped[i] = True
+                    break
+        return Set(self.space, [p for p, d in zip(live, dropped) if not d])
+
+    def project_out(self, dims: Sequence[str]) -> "Set":
+        pieces = [p.project_out(dims) for p in self.pieces]
+        space = self.space.drop_dims(dims)
+        return Set(space, pieces)
+
+    def fix(self, binding: Mapping[str, int]) -> "Set":
+        pieces = [p.fix(binding) for p in self.pieces]
+        dims = tuple(d for d in self.space.dims if d not in binding)
+        params = tuple(p for p in self.space.params if p not in binding)
+        return Set(SetSpace(self.space.name, dims, params), pieces)
+
+    def fix_params(self, binding: Mapping[str, int]) -> "Set":
+        binding = {k: v for k, v in binding.items() if k in self.space.params}
+        return self.fix(binding)
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "Set":
+        return Set(
+            self.space.rename_dims(dict(mapping)),
+            [p.rename_dims(mapping) for p in self.pieces],
+        )
+
+    def with_name(self, name: str) -> "Set":
+        return Set(
+            SetSpace(name, self.space.dims, self.space.params),
+            [p.with_name(name) for p in self.pieces],
+        )
+
+    def simplify(self) -> "Set":
+        return Set(self.space, [p.simplify() for p in self.pieces]).coalesce()
+
+    # -- counting ----------------------------------------------------------
+
+    def count_points(self, params: Mapping[str, int] | None = None) -> int:
+        from .enumerate import enumerate_set_points
+
+        return sum(1 for _ in enumerate_set_points(self, params or {}))
+
+    def bounding_box(self, params=None):
+        box: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        for p in self.pieces:
+            for dim, (lo, hi) in p.bounding_box(params).items():
+                if dim not in box:
+                    box[dim] = (lo, hi)
+                else:
+                    olo, ohi = box[dim]
+                    lo = None if lo is None or olo is None else min(lo, olo)
+                    hi = None if hi is None or ohi is None else max(hi, ohi)
+                    box[dim] = (lo, hi)
+        return box
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Set):
+            return NotImplemented
+        return self.is_equal(other)
+
+    def __repr__(self) -> str:
+        return f"Set({self})"
+
+    def __str__(self) -> str:
+        if not self.pieces:
+            params = f"[{', '.join(self.space.params)}] -> " if self.space.params else ""
+            return f"{params}{{ {self.space} : false }}"
+        return " ∪ ".join(str(p) for p in self.pieces)
+
+    def __iter__(self):
+        return iter(self.pieces)
+
+    def __len__(self):
+        return len(self.pieces)
+
+
+def _reparam(pieces: Sequence[BasicSet], params: Tuple[str, ...]) -> List[BasicSet]:
+    return [
+        BasicSet(p.space.with_params(params), p.constraints) for p in pieces
+    ]
+
+
+def _subtract_basic(a: BasicSet, b: BasicSet) -> List[BasicSet]:
+    """``a - b`` as a union of basic sets.
+
+    For each constraint c of b, emit ``a ∩ (constraints of b seen so far) ∩ ¬c``.
+    Including the previously-seen constraints keeps the pieces disjoint.
+    """
+    if not b.constraints:
+        return []
+    out: List[BasicSet] = []
+    seen: List[Constraint] = []
+    for c in b.constraints:
+        for neg in c.negated():
+            piece = BasicSet(a.space, a.constraints + tuple(seen) + (neg,))
+            if not piece.is_obviously_empty():
+                out.append(piece)
+        seen.append(c)
+    return out
+
+
+def _lex_extreme(s: "Set", maximize: bool, params=None):
+    """Shared implementation of lexmin/lexmax for bounded sets."""
+    from .fm import bounds_for_symbol, eliminate_symbols, find_integer_point
+
+    fixed = s.fix_params(params or {})
+    if fixed.space.params:
+        raise ValueError(
+            f"lex extreme needs bound params, {fixed.space.params} free"
+        )
+    dims = list(fixed.space.dims)
+    best = None
+    for piece in fixed.pieces:
+        binding = {}
+        cons = list(piece.constraints)
+        ok = True
+        for i, dim in enumerate(dims):
+            rest = dims[i + 1:]
+            projected = eliminate_symbols(
+                [c.substitute(binding) for c in cons], rest
+            )
+            lo, hi, _ = bounds_for_symbol(projected, dim, {})
+            if lo is None or hi is None:
+                raise ValueError(f"unbounded dimension {dim}")
+            rng = range(hi, lo - 1, -1) if maximize else range(lo, hi + 1)
+            found = False
+            for val in rng:
+                probe = [c.substitute({**binding, dim: val}) for c in cons]
+                if find_integer_point(probe) is not None:
+                    binding[dim] = val
+                    found = True
+                    break
+            if not found:
+                ok = False
+                break
+        if not ok:
+            continue
+        key = tuple(binding[d] for d in dims)
+        if best is None or (key > best if maximize else key < best):
+            best = key
+    if best is None:
+        return None
+    return dict(zip(dims, best))
+
+
+def lexmin(s: "Set", params=None):
+    """The lexicographically smallest point of a bounded set (or None)."""
+    return _lex_extreme(s, maximize=False, params=params)
+
+
+def lexmax(s: "Set", params=None):
+    """The lexicographically largest point of a bounded set (or None)."""
+    return _lex_extreme(s, maximize=True, params=params)

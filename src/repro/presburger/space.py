@@ -1,0 +1,137 @@
+"""Spaces for integer sets and maps.
+
+A *space* names the dimensions an affine object ranges over.  Sets live in a
+``SetSpace`` (a tuple name plus dimension names); maps live in a ``MapSpace``
+(an input tuple and an output tuple).  Parameter symbols are shared by all
+spaces in a computation and are carried separately.
+
+Spaces are immutable value objects; all the algebra in this package checks
+space compatibility before combining constraint systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+
+def _as_tuple(names: Iterable[str]) -> Tuple[str, ...]:
+    names = tuple(names)
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate dimension names: {names}")
+    for n in names:
+        if not isinstance(n, str) or not n:
+            raise ValueError(f"dimension names must be non-empty strings, got {n!r}")
+    return names
+
+
+@dataclass(frozen=True)
+class SetSpace:
+    """The space of a set: an optional tuple name and ordered dimension names."""
+
+    name: str
+    dims: Tuple[str, ...]
+    params: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "dims", _as_tuple(self.dims))
+        object.__setattr__(self, "params", _as_tuple(self.params))
+        overlap = set(self.dims) & set(self.params)
+        if overlap:
+            raise ValueError(f"names used as both dim and param: {sorted(overlap)}")
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dims)
+
+    def rename_dims(self, mapping: dict) -> "SetSpace":
+        return SetSpace(self.name, tuple(mapping.get(d, d) for d in self.dims), self.params)
+
+    def with_params(self, params: Iterable[str]) -> "SetSpace":
+        return SetSpace(self.name, self.dims, tuple(params))
+
+    def drop_dims(self, drop: Iterable[str]) -> "SetSpace":
+        drop = set(drop)
+        return SetSpace(self.name, tuple(d for d in self.dims if d not in drop), self.params)
+
+    def __str__(self) -> str:
+        return f"{self.name}[{', '.join(self.dims)}]"
+
+
+@dataclass(frozen=True)
+class MapSpace:
+    """The space of a map: an input tuple and an output tuple."""
+
+    in_name: str
+    in_dims: Tuple[str, ...]
+    out_name: str
+    out_dims: Tuple[str, ...]
+    params: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "in_dims", _as_tuple(self.in_dims))
+        object.__setattr__(self, "out_dims", _as_tuple(self.out_dims))
+        object.__setattr__(self, "params", _as_tuple(self.params))
+        all_names = self.in_dims + self.out_dims
+        if len(set(all_names)) != len(all_names):
+            raise ValueError(
+                f"input and output dims must be disjoint: {self.in_dims} vs {self.out_dims}"
+            )
+        overlap = set(all_names) & set(self.params)
+        if overlap:
+            raise ValueError(f"names used as both dim and param: {sorted(overlap)}")
+
+    @property
+    def n_in(self) -> int:
+        return len(self.in_dims)
+
+    @property
+    def n_out(self) -> int:
+        return len(self.out_dims)
+
+    @property
+    def domain_space(self) -> SetSpace:
+        return SetSpace(self.in_name, self.in_dims, self.params)
+
+    @property
+    def range_space(self) -> SetSpace:
+        return SetSpace(self.out_name, self.out_dims, self.params)
+
+    def reversed(self) -> "MapSpace":
+        return MapSpace(self.out_name, self.out_dims, self.in_name, self.in_dims, self.params)
+
+    def with_params(self, params: Iterable[str]) -> "MapSpace":
+        return MapSpace(self.in_name, self.in_dims, self.out_name, self.out_dims, tuple(params))
+
+    def rename_dims(self, mapping: dict) -> "MapSpace":
+        return MapSpace(
+            self.in_name,
+            tuple(mapping.get(d, d) for d in self.in_dims),
+            self.out_name,
+            tuple(mapping.get(d, d) for d in self.out_dims),
+            self.params,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.in_name}[{', '.join(self.in_dims)}] -> "
+            f"{self.out_name}[{', '.join(self.out_dims)}]"
+        )
+
+
+def fresh_names(base: Iterable[str], taken: Iterable[str]) -> Tuple[str, ...]:
+    """Rename ``base`` names so that none collides with ``taken``.
+
+    Used when joining two constraint systems that may share dimension names.
+    """
+    taken = set(taken)
+    out = []
+    for name in base:
+        candidate = name
+        suffix = 0
+        while candidate in taken:
+            suffix += 1
+            candidate = f"{name}_{suffix}"
+        taken.add(candidate)
+        out.append(candidate)
+    return tuple(out)

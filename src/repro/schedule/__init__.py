@@ -1,0 +1,54 @@
+"""``repro.schedule`` — schedule trees and their transformations."""
+
+from .build import grouped_tree, initial_tree
+from .transform import (
+    SKIPPED,
+    collect_bands,
+    filter_of_statement,
+    find_filters,
+    insert_extension_below,
+    insert_mark_above_child,
+    is_skipped,
+    mark_skipped,
+    split_band,
+    top_level_filters,
+    tree_statements,
+    unmark_skipped,
+)
+from .tree import (
+    BandNode,
+    DomainNode,
+    ExtensionNode,
+    FilterNode,
+    LeafNode,
+    MarkNode,
+    Node,
+    SequenceNode,
+    band_from_dims,
+)
+
+__all__ = [
+    "BandNode",
+    "DomainNode",
+    "ExtensionNode",
+    "FilterNode",
+    "LeafNode",
+    "MarkNode",
+    "Node",
+    "SKIPPED",
+    "SequenceNode",
+    "band_from_dims",
+    "collect_bands",
+    "filter_of_statement",
+    "find_filters",
+    "grouped_tree",
+    "initial_tree",
+    "insert_extension_below",
+    "insert_mark_above_child",
+    "is_skipped",
+    "mark_skipped",
+    "split_band",
+    "top_level_filters",
+    "tree_statements",
+    "unmark_skipped",
+]

@@ -1,0 +1,56 @@
+"""Construction of initial schedule trees from programs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ir import Program
+from ..presburger import LinExpr
+from .tree import (
+    BandNode,
+    DomainNode,
+    FilterNode,
+    LeafNode,
+    Node,
+    SequenceNode,
+)
+
+
+def initial_tree(program: Program) -> DomainNode:
+    """The textual-order schedule tree: one filter + band per statement.
+
+    Mirrors the paper's Fig. 2(a): a domain node, a sequence over the
+    statements in program order, and an identity band over each statement's
+    own iterators.
+    """
+    filters: List[FilterNode] = []
+    for stmt in program.statements:
+        band = BandNode(
+            {stmt.name: [LinExpr.var(d) for d in stmt.dims]},
+            dim_names=[f"{stmt.name}_d{i}" for i in range(len(stmt.dims))],
+            permutable=False,
+            coincident=[False] * len(stmt.dims),
+            child=LeafNode(),
+        )
+        filters.append(FilterNode([stmt.name], band))
+    return DomainNode(program.domains(), SequenceNode(filters))
+
+
+def grouped_tree(
+    program: Program,
+    groups: Sequence[Sequence[str]],
+    group_bands: Sequence[BandNode],
+) -> DomainNode:
+    """A tree with one filter per fusion group, each rooted at a band.
+
+    ``groups`` lists statement names per fusion group in execution order;
+    ``group_bands[i]`` is the (already constructed) band subtree for group
+    ``i`` — its child typically contains the inner sequence/bands of the
+    group's statements.
+    """
+    if len(groups) != len(group_bands):
+        raise ValueError("groups and group_bands must align")
+    filters = [
+        FilterNode(list(group), band) for group, band in zip(groups, group_bands)
+    ]
+    return DomainNode(program.domains(), SequenceNode(filters))

@@ -1,0 +1,88 @@
+"""Tile-size auto-tuning (the PolyMage strategy used for Table I).
+
+The paper inherits PolyMage's auto-tuner: try every tile-size combination
+from {8, 16, 32, 64, 128, 256, 512} per dimension and keep the fastest.
+Because the paper's pass needs tile sizes only for the *live-out* spaces
+(intermediate shapes are derived from the data space), the search space
+stays two-dimensional regardless of pipeline depth — one of the
+practical benefits Section III calls out ("reduce the magnitude of the
+tile size space").
+
+This tuner evaluates candidates against the analytical machine models,
+which plays the role of PolyMage's empirical re-runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import Program
+
+CANDIDATE_SIZES = (8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass
+class TuneResult:
+    best_sizes: Tuple[int, ...]
+    best_time: float
+    evaluations: Dict[Tuple[int, ...], float] = field(default_factory=dict)
+    failures: Dict[Tuple[int, ...], str] = field(default_factory=dict)
+    tuning_seconds: float = 0.0
+
+    def top(self, k: int = 5) -> List[Tuple[Tuple[int, ...], float]]:
+        return sorted(self.evaluations.items(), key=lambda kv: kv[1])[:k]
+
+
+def autotune_tile_sizes(
+    program: Program,
+    target: str = "cpu",
+    threads: int = 32,
+    candidates: Sequence[int] = CANDIDATE_SIZES,
+    dims: int = 2,
+    max_extent: Optional[int] = None,
+) -> TuneResult:
+    """Exhaustive search over live-out tile sizes against the cost model.
+
+    ``max_extent`` skips candidates larger than the iteration space (the
+    tuner derives it from the first live-out tensor when omitted).
+    """
+    from ..core import optimize
+    from ..machine import analyze_optimized, cpu_time, gpu_time
+
+    if max_extent is None:
+        first = program.tensors[program.liveout[0]]
+        max_extent = max(first.concrete_shape(program.params))
+
+    t0 = time.perf_counter()
+    result = TuneResult(best_sizes=(), best_time=float("inf"))
+    combos = _combinations(
+        [c for c in candidates if c <= max_extent], dims
+    )
+    for sizes in combos:
+        try:
+            opt = optimize(program, target=target, tile_sizes=sizes)
+            work = analyze_optimized(opt)
+            t = gpu_time(work) if target == "gpu" else cpu_time(work, threads)
+        except Exception as exc:  # infeasible tiling (tiny domains etc.)
+            result.failures[sizes] = f"{type(exc).__name__}: {exc}"
+            continue
+        result.evaluations[sizes] = t
+        if t < result.best_time:
+            result.best_time = t
+            result.best_sizes = sizes
+    result.tuning_seconds = time.perf_counter() - t0
+    if not result.evaluations:
+        raise RuntimeError(
+            f"no feasible tile size among {len(combos)} candidates: "
+            f"{result.failures}"
+        )
+    return result
+
+
+def _combinations(candidates: Sequence[int], dims: int) -> List[Tuple[int, ...]]:
+    out: List[Tuple[int, ...]] = [()]
+    for _ in range(dims):
+        out = [prefix + (c,) for prefix in out for c in candidates]
+    return out

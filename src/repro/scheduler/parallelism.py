@@ -1,0 +1,114 @@
+"""Parallelism (coincidence) and permutability detection.
+
+A band dimension is *coincident* (parallel) when every dependence between
+statements of the group has distance exactly zero at that dimension; the
+band is *permutable* (tilable) when every dependence has non-negative
+distance at every band dimension.  Distances are computed exactly from the
+dependence relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..deps import Dependence, dep_distance_bounds
+from ..ir import Program
+from ..presburger import LinExpr
+
+
+def band_attributes(
+    deps: Sequence[Dependence],
+    members: Sequence[str],
+    rows: Mapping[str, Sequence[LinExpr]],
+    depth: int,
+    params: Mapping[str, int],
+) -> Tuple[List[bool], bool]:
+    """``(coincident, permutable)`` of a candidate fused band.
+
+    Only dependences with both endpoints inside ``members`` constrain the
+    band; dependences crossing group boundaries are satisfied by the group
+    sequence order.
+    """
+    members = set(members)
+    coincident = [True] * depth
+    permutable = True
+    for dep in deps:
+        if dep.source not in members or dep.target not in members:
+            continue
+        bounds = dep_distance_bounds(
+            dep, list(rows[dep.source]), list(rows[dep.target]), params
+        )
+        for d in range(depth):
+            lo, hi = bounds[d]
+            if lo != 0 or hi != 0:
+                coincident[d] = False
+            if lo is None or lo < 0:
+                permutable = False
+    return coincident, permutable
+
+
+def fusion_preserves_parallelism(
+    deps: Sequence[Dependence],
+    group_members: Sequence[str],
+    group_rows: Mapping[str, Sequence[LinExpr]],
+    candidate: str,
+    candidate_rows: Sequence[LinExpr],
+    depth: int,
+    params: Mapping[str, int],
+) -> bool:
+    """Would adding ``candidate`` keep every band dimension coincident?
+
+    This is the smartfuse criterion: fusion may not introduce any non-zero
+    dependence distance at the fused dimensions.
+    """
+    new_members = list(group_members) + [candidate]
+    new_rows = dict(group_rows)
+    new_rows[candidate] = tuple(candidate_rows)
+    coincident, permutable = band_attributes(
+        deps, new_members, new_rows, depth, params
+    )
+    return all(coincident) and permutable
+
+
+def required_shifts(
+    deps: Sequence[Dependence],
+    members_in_order: Sequence[str],
+    dims_of: Mapping[str, Sequence[str]],
+    depth: int,
+    params: Mapping[str, int],
+) -> Dict[str, Tuple[int, ...]]:
+    """Per-statement shifts making all intra-group distances non-negative.
+
+    Processes statements in program order (a topological order of the
+    forward dependence graph) and accumulates, per band dimension, the
+    shift needed so that ``shifted_dst - shifted_src >= 0`` for every
+    dependence.  This is the alignment maxfuse applies before fusing
+    stencil producers and consumers.
+    """
+    shifts: Dict[str, List[int]] = {s: [0] * depth for s in members_in_order}
+    member_set = set(members_in_order)
+    order = {s: i for i, s in enumerate(members_in_order)}
+    for dst in members_in_order:
+        for dep in deps:
+            if dep.target != dst or dep.source not in member_set:
+                continue
+            if order[dep.source] > order[dst]:
+                continue
+            src_rows = [
+                LinExpr.var(d) + shifts[dep.source][i]
+                for i, d in enumerate(dims_of[dep.source][:depth])
+            ]
+            src_rows += [LinExpr.const_expr(0)] * (depth - len(src_rows))
+            dst_rows = [
+                LinExpr.var(d) for d in dims_of[dst][:depth]
+            ]
+            dst_rows += [LinExpr.const_expr(0)] * (depth - len(dst_rows))
+            bounds = dep_distance_bounds(dep, src_rows, dst_rows, params)
+            for d in range(depth):
+                lo, _hi = bounds[d]
+                if lo is not None and lo < 0:
+                    # distance with shifts is (dst_row + shift_dst) -
+                    # (src_row + shift_src); bounds already include
+                    # shift_src, so shift_dst >= -lo restores legality.
+                    shifts[dst][d] = max(shifts[dst][d], -lo)
+    return {s: tuple(v) for s, v in shifts.items()}

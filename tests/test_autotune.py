@@ -1,0 +1,54 @@
+"""Tests for the tile-size auto-tuner."""
+
+import pytest
+
+from repro.core import optimize
+from repro.machine import analyze_optimized, cpu_time
+from repro.pipelines import unsharp_mask
+from repro.scheduler.autotune import autotune_tile_sizes, _combinations
+
+
+class TestCombinations:
+    def test_two_dims(self):
+        combos = _combinations([8, 16], 2)
+        assert set(combos) == {(8, 8), (8, 16), (16, 8), (16, 16)}
+
+    def test_one_dim(self):
+        assert _combinations([8, 16], 1) == [(8,), (16,)]
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        prog = unsharp_mask.build(256)
+        return prog, autotune_tile_sizes(
+            prog, target="cpu", threads=32, candidates=(8, 32, 128)
+        )
+
+    def test_search_covers_grid(self, tuned):
+        _prog, result = tuned
+        assert len(result.evaluations) + len(result.failures) == 9
+
+    def test_best_is_minimum(self, tuned):
+        _prog, result = tuned
+        assert result.best_time == min(result.evaluations.values())
+        assert result.evaluations[result.best_sizes] == result.best_time
+
+    def test_best_sizes_usable(self, tuned):
+        prog, result = tuned
+        opt = optimize(prog, target="cpu", tile_sizes=result.best_sizes)
+        t = cpu_time(analyze_optimized(opt), 32)
+        assert t == pytest.approx(result.best_time, rel=1e-6)
+
+    def test_oversized_candidates_skipped(self):
+        prog = unsharp_mask.build(64)
+        result = autotune_tile_sizes(
+            prog, candidates=(8, 512), max_extent=None
+        )
+        assert all(s <= 64 for sizes in result.evaluations for s in sizes)
+
+    def test_top_k(self, tuned):
+        _prog, result = tuned
+        top = result.top(3)
+        assert len(top) == 3
+        assert top[0][1] <= top[1][1] <= top[2][1]

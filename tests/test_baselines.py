@@ -1,0 +1,78 @@
+"""Tests for the baseline comparators (Halide/PolyMage/naive)."""
+
+import pytest
+
+from repro.baselines import (
+    halide_work,
+    naive_work,
+    partitioned_result,
+    polymage_work,
+    scheduled_from_partition,
+)
+from repro.core import CPU, optimize
+from repro.machine import analyze_optimized, cpu_time
+from repro.pipelines import equake, harris, unsharp_mask
+
+
+class TestPartitionValidation:
+    def test_rejects_incomplete_partition(self):
+        prog = unsharp_mask.build(64)
+        with pytest.raises(ValueError):
+            scheduled_from_partition(prog, [["S0_blurx"]])
+
+    def test_rejects_unknown_statement(self):
+        prog = unsharp_mask.build(64)
+        partition = [list(prog.statement_names), ["Szz"]]
+        with pytest.raises(ValueError):
+            scheduled_from_partition(prog, partition)
+
+
+class TestScheduledFromPartition:
+    def test_equake_partitions_build(self):
+        prog = equake.build(n=128)
+        for name, partition in equake.PARTITIONS.items():
+            sched = scheduled_from_partition(prog, partition)
+            assert len(sched.groups) == len(partition), name
+
+    def test_group_attributes_computed(self):
+        prog = equake.build(n=128)
+        sched = scheduled_from_partition(prog, equake.PARTITIONS["maxfuse"])
+        gather_group = sched.groups[1]
+        assert "Sgather" in gather_group.statements
+        assert gather_group.coincident[0]  # pointwise chain stays parallel
+
+
+class TestPartitionedResult:
+    def test_halide_partition_runs_through_machinery(self):
+        prog = unsharp_mask.build(256)
+        partition = unsharp_mask.halide_partition(prog)
+        res = partitioned_result(prog, partition, (8, 32), CPU)
+        # blur_x materialised on its own; the rest fused
+        clusters = res.mixed.fused_groups()
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 3]
+
+    def test_halide_work_costs_more_than_ours(self):
+        prog = unsharp_mask.build(256)
+        partition = unsharp_mask.halide_partition(prog)
+        t_halide = cpu_time(halide_work(prog, partition, (8, 32)), 32)
+        ours = optimize(prog, target="cpu", tile_sizes=(8, 32))
+        t_ours = cpu_time(analyze_optimized(ours), 32)
+        assert t_ours <= t_halide
+
+    def test_polymage_overlap_never_cheaper_than_exact(self):
+        prog = harris.build(256)
+        partition = harris.polymage_partition(prog)
+        w_poly = polymage_work(prog, partition, (16, 32))
+        w_exact = halide_work(prog, partition, (16, 32))
+        assert w_poly.total_recompute() >= w_exact.total_recompute() - 1e-6
+
+
+class TestNaive:
+    def test_naive_is_serial_and_scalar(self):
+        prog = unsharp_mask.build(128)
+        work = naive_work(prog)
+        for c in work.clusters:
+            assert c.parallel_units == 1
+            assert not c.vectorizable
+        assert cpu_time(work, 32) == pytest.approx(cpu_time(work, 1))

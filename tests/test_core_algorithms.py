@@ -1,0 +1,209 @@
+"""Tests for the paper's core algorithms, mirroring the running example.
+
+Section III fixes H = W = 6, KH = KW = 3 and tile sizes T2 = T3 = 2 for the
+reduction space; we reproduce the published footprints and extension
+schedules exactly (with tile-origin coordinates: the paper's tile (o0, o1)
+is our origin (2*o0, 2*o1)).
+"""
+
+import pytest
+
+from repro.core import (
+    CPU,
+    ExtensionScheduleEntry,
+    GPU,
+    TILE_TUPLE,
+    TilingScheduleEntry,
+    composite_tiling_fusion,
+    construct_tile_shapes,
+    exposed_tensors,
+    footprint_size,
+    intermediate_groups_of,
+    liveout_groups,
+    optimize,
+    tile_footprint,
+    tile_to_instances,
+)
+from repro.pipelines import conv2d
+from repro.scheduler import SMARTFUSE, schedule_program
+from repro.schedule import (
+    BandNode,
+    ExtensionNode,
+    MarkNode,
+    is_skipped,
+    top_level_filters,
+)
+
+PARAMS = {"H": 6, "W": 6, "KH": 3, "KW": 3}
+
+
+@pytest.fixture(scope="module")
+def setup():
+    prog = conv2d.build(PARAMS)
+    sched = schedule_program(prog, SMARTFUSE)
+    return prog, sched
+
+
+class TestLiveoutIdentification:
+    def test_liveout_group_is_reduction_space(self, setup):
+        prog, sched = setup
+        los = liveout_groups(prog, sched.groups)
+        assert len(los) == 1
+        assert set(los[0].statements) == {"S1", "S2", "S3"}
+
+    def test_intermediates_of_liveout(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        inters = intermediate_groups_of(prog, L, sched.groups)
+        assert [set(g.statements) for g in inters] == [{"S0"}]
+
+    def test_exposed_tensors(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        assert exposed_tensors(prog, L, sched.groups) == ("A",)
+
+
+class TestFootprints:
+    """Section III-A: the published footprints of the blue and red tiles."""
+
+    def test_tile_to_instances(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        t2i = tile_to_instances(prog, L, (2, 2))
+        m = t2i[(TILE_TUPLE, "S2")].fix_params(PARAMS)
+        inst = m.image_of_point({f"{L.name}_o0": 2, f"{L.name}_o1": 0})
+        # 2x2 points of (h, w) x 3x3 reduction points
+        assert inst.count_points() == 4 * 9
+
+    def test_blue_tile_footprint(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        fp = tile_footprint(prog, L, (2, 2), ("A",))
+        m = fp[(TILE_TUPLE, "A")]
+        blue = {f"{L.name}_o0": 2, f"{L.name}_o1": 0}
+        elems = m.fix_params(PARAMS).image_of_point(blue)
+        # paper: { A[h', w'] : 2 <= h' <= 5 and 0 <= w' <= 3 }
+        assert elems.count_points() == 16
+        box = elems.bounding_box()
+        (d0, d1) = elems.space.dims
+        assert box[d0] == (2, 5)
+        assert box[d1] == (0, 3)
+
+    def test_red_tile_footprint_overlaps_blue(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        fp = tile_footprint(prog, L, (2, 2), ("A",))
+        m = fp[(TILE_TUPLE, "A")].fix_params(PARAMS)
+        blue = m.image_of_point({f"{L.name}_o0": 2, f"{L.name}_o1": 0})
+        red = m.image_of_point({f"{L.name}_o0": 2, f"{L.name}_o1": 2})
+        inter = blue.intersect(red)
+        # the interleaved region: 2 <= h' <= 5, 2 <= w' <= 3
+        assert inter.count_points() == 8
+
+    def test_footprint_size_helper(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        fp = tile_footprint(prog, L, (2, 2), ("A",))
+        size = footprint_size(
+            fp[(TILE_TUPLE, "A")],
+            {f"{L.name}_o0": 2, f"{L.name}_o1": 2},
+            PARAMS,
+        )
+        assert size == 16
+
+
+class TestAlgorithm1:
+    def test_mixed_schedules_structure(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        inters = intermediate_groups_of(prog, L, sched.groups)
+        mixed = construct_tile_shapes(prog, L, inters, (2, 2), CPU)
+        kinds = [type(e).__name__ for e in mixed.entries]
+        assert kinds == ["TilingScheduleEntry", "ExtensionScheduleEntry"]
+        assert mixed.entries[0].tile_sizes == (2, 2)
+
+    def test_extension_schedule_matches_relation6(self, setup):
+        """The extension schedule must reproduce relation (6): the blue
+        tile pulls S0 instances { S0[h, w] : 2 <= h <= 5, 0 <= w <= 3 }."""
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        inters = intermediate_groups_of(prog, L, sched.groups)
+        mixed = construct_tile_shapes(prog, L, inters, (2, 2), CPU)
+        ext = mixed.entries[1]
+        inst = ext.instances_for_tile(
+            "S0", {f"{L.name}_o0": 2, f"{L.name}_o1": 0}, PARAMS
+        )
+        assert inst.count_points() == 16
+        box = inst.bounding_box()
+        dims = inst.space.dims
+        assert box[dims[0]] == (2, 5)
+        assert box[dims[1]] == (0, 3)
+
+    def test_overlapping_extension_tiles(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        inters = intermediate_groups_of(prog, L, sched.groups)
+        mixed = construct_tile_shapes(prog, L, inters, (2, 2), CPU)
+        ext = mixed.entries[1]
+        blue = ext.instances_for_tile("S0", {f"{L.name}_o0": 2, f"{L.name}_o1": 0}, PARAMS)
+        red = ext.instances_for_tile("S0", {f"{L.name}_o0": 2, f"{L.name}_o1": 2}, PARAMS)
+        assert not blue.intersect(red).is_empty()
+
+    def test_gpu_target_requires_2d_parallelism(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        inters = intermediate_groups_of(prog, L, sched.groups)
+        mixed = construct_tile_shapes(prog, L, inters, (2, 2), GPU)
+        # conv2d's live-out space has 2 parallel dims, so GPU still tiles
+        assert mixed.entries[0].is_tiled
+
+    def test_fused_groups_listing(self, setup):
+        prog, sched = setup
+        L = liveout_groups(prog, sched.groups)[0]
+        inters = intermediate_groups_of(prog, L, sched.groups)
+        mixed = construct_tile_shapes(prog, L, inters, (2, 2), CPU)
+        clusters = mixed.fused_groups()
+        assert len(clusters) == 1
+        assert clusters[0][0] is L
+
+
+class TestEndToEnd:
+    def test_optimize_fuses_all_statements(self):
+        prog = conv2d.build(PARAMS)
+        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        assert result.fusion_summary() == [["S0", "S1", "S2", "S3"]]
+
+    def test_tree_has_extension_below_tile_band(self):
+        prog = conv2d.build(PARAMS)
+        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        exts = [n for n in result.tree.walk() if isinstance(n, ExtensionNode)]
+        assert len(exts) == 1
+        bands = [n for n in result.tree.walk() if isinstance(n, BandNode)]
+        tile_bands = [b for b in bands if b.tile_sizes is not None]
+        assert len(tile_bands) == 1
+        assert tile_bands[0].tile_sizes == (2, 2)
+        # the extension node sits directly below the tile band
+        assert tile_bands[0].child is exts[0]
+
+    def test_original_s0_subtree_skipped(self):
+        prog = conv2d.build(PARAMS)
+        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        filters = top_level_filters(result.tree)
+        s0_filters = [f for f in filters if f.statements == ("S0",)]
+        assert len(s0_filters) == 1
+        assert is_skipped(s0_filters[0])
+
+    def test_parallelism_not_lost(self):
+        prog = conv2d.build(PARAMS)
+        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        bands = [
+            n
+            for n in result.tree.walk()
+            if isinstance(n, BandNode) and n.tile_sizes is not None
+        ]
+        assert bands[0].coincident == [True, True]
+
+    def test_compile_time_recorded(self):
+        prog = conv2d.build(PARAMS)
+        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        assert result.compile_seconds > 0

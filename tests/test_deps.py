@@ -1,0 +1,102 @@
+"""Tests for dependence analysis on the paper's running example."""
+
+from repro.deps import (
+    Dependence,
+    FLOW,
+    dep_distance_bounds,
+    flow_deps,
+    memory_deps,
+    producer_consumer_tensors,
+    statement_row_map,
+)
+from repro.pipelines import conv2d
+from repro.presburger import LinExpr
+
+
+def dep_between(deps, src, dst, tensor=None):
+    for d in deps:
+        if d.source == src and d.target == dst and (tensor is None or d.tensor == tensor):
+            return d
+    return None
+
+
+class TestFlowDeps:
+    def setup_method(self):
+        self.prog = conv2d.build({"H": 8, "W": 8, "KH": 3, "KW": 3})
+        self.deps = flow_deps(self.prog)
+
+    def test_quant_to_conv_dep_exists(self):
+        d = dep_between(self.deps, "S0", "S2", "A")
+        assert d is not None
+
+    def test_init_to_reduce_dep_exists(self):
+        assert dep_between(self.deps, "S1", "S2", "C") is not None
+
+    def test_reduce_to_relu_dep_exists(self):
+        assert dep_between(self.deps, "S2", "S3", "C") is not None
+
+    def test_no_backwards_dep(self):
+        assert dep_between(self.deps, "S3", "S0") is None
+        assert dep_between(self.deps, "S2", "S1") is None
+
+    def test_self_dep_of_reduction(self):
+        d = dep_between(self.deps, "S2", "S2", "C")
+        assert d is not None
+
+    def test_dep_relation_points(self):
+        # S0[h', w'] -> S2[h, w, kh, kw] iff h' = h + kh, w' = w + kw
+        d = dep_between(self.deps, "S0", "S2", "A")
+        rel = d.relation.fix_params(self.prog.params)
+        img = rel.image_of_point({"h": 1, "w": 2})
+        # A[1,2] is read by S2 instances with h+kh=1, w+kw=2
+        # h in {0,1} (h<=5), kh=1-h; w in {0,1,2}
+        assert img.count_points() == 2 * 3
+
+
+class TestDistances:
+    def setup_method(self):
+        self.prog = conv2d.build({"H": 8, "W": 8, "KH": 3, "KW": 3})
+        self.deps = flow_deps(self.prog)
+
+    def test_stencil_distance_bounds(self):
+        d = dep_between(self.deps, "S0", "S2", "A")
+        src = statement_row_map(self.prog.statement("S0"), 2)
+        dst = statement_row_map(self.prog.statement("S2"), 2)
+        bounds = dep_distance_bounds(d, src, dst, self.prog.params)
+        # h = h' - kh so distance h - h' in [-(KH-1), 0]
+        assert bounds[0] == (-2, 0)
+        assert bounds[1] == (-2, 0)
+
+    def test_pointwise_distance_is_zero(self):
+        d = dep_between(self.deps, "S2", "S3", "C")
+        src = statement_row_map(self.prog.statement("S2"), 2)
+        dst = statement_row_map(self.prog.statement("S3"), 2)
+        bounds = dep_distance_bounds(d, src, dst, self.prog.params)
+        assert bounds == [(0, 0), (0, 0)]
+
+    def test_reduction_self_dep_distance(self):
+        d = dep_between(self.deps, "S2", "S2", "C")
+        s2 = self.prog.statement("S2")
+        rows = statement_row_map(s2, 4)
+        bounds = dep_distance_bounds(d, rows, rows, self.prog.params)
+        # outer h, w distances are zero; kh/kw carry the reduction
+        assert bounds[0] == (0, 0)
+        assert bounds[1] == (0, 0)
+        lo2, hi2 = bounds[2]
+        assert (lo2, hi2) != (0, 0)
+
+
+class TestKindsAndGraph:
+    def test_anti_dep_of_inplace_quant(self):
+        prog = conv2d.build({"H": 6, "W": 6})
+        deps = memory_deps(prog)
+        kinds = {(d.source, d.target, d.kind) for d in deps}
+        # S1 writes C then S2 reads + writes C: flow and output
+        assert ("S1", "S2", "flow") in kinds
+        assert ("S1", "S2", "output") in kinds
+
+    def test_producer_consumer_table(self):
+        prog = conv2d.build({"H": 6, "W": 6})
+        table = producer_consumer_tensors(prog)
+        assert table[("S0", "S2")] == ["A"]
+        assert "C" in table[("S2", "S3")]

@@ -1,0 +1,76 @@
+"""Tests for the dependence-graph utilities and the CLI."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.deps.graph import critical_path, dependence_graph, stage_levels, to_dot
+from repro.core import optimize
+from repro.pipelines import conv2d, harris, unsharp_mask
+
+
+class TestDependenceGraph:
+    def test_conv2d_edges(self):
+        prog = conv2d.build({"H": 8, "W": 8})
+        g = dependence_graph(prog)
+        assert g.has_edge("S0", "S2")
+        assert g.has_edge("S1", "S2")
+        assert g.has_edge("S2", "S3")
+        assert not g.has_edge("S3", "S0")
+
+    def test_stage_levels(self):
+        prog = unsharp_mask.build(32)
+        levels = stage_levels(prog)
+        names = prog.statement_names
+        assert levels[names[0]] == 0          # blur_x
+        assert levels[names[1]] == 1          # blur_y
+        assert levels[names[3]] > levels[names[2]] or levels[names[3]] >= 2
+
+    def test_critical_path_depth(self):
+        prog = harris.build(32)
+        path = critical_path(prog)
+        # gray -> Ix -> Ixx -> Sxx -> resp -> thresh is length 6
+        assert len(path) >= 6
+
+    def test_dot_export(self):
+        prog = conv2d.build({"H": 8, "W": 8})
+        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        dot = to_dot(prog, clusters=res.fusion_summary())
+        assert dot.startswith("digraph")
+        assert "subgraph cluster_0" in dot
+        assert '"S0" -> "S2"' in dot
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "unsharp_mask" in out
+        assert "equake" in out
+
+    def test_optimize_conv2d(self, capsys):
+        assert cli_main(["optimize", "conv2d", "--size", "16", "--tile", "4", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion:" in out
+        assert "S0" in out
+
+    def test_code_openmp(self, capsys):
+        assert cli_main(["code", "conv2d", "--size", "16", "--tile", "4", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "#pragma omp parallel for" in out
+
+    def test_code_cuda(self, capsys):
+        assert cli_main(
+            ["code", "conv2d", "--size", "16", "--tile", "4", "4", "--target", "gpu"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "__syncthreads();" in out
+
+    def test_time_table(self, capsys):
+        assert cli_main(["time", "2mm", "--size", "64", "--tile", "8", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ours" in out
+        assert "smartfuse" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            cli_main(["optimize", "nonsense"])

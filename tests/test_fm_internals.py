@@ -1,0 +1,158 @@
+"""White-box tests of the Fourier–Motzkin and feasibility machinery."""
+
+import pytest
+
+from repro.presburger import Constraint, LinExpr, V
+from repro.presburger.fm import (
+    FeasibilityUndecided,
+    bounds_for_symbol,
+    constraint_symbols,
+    eliminate_symbol,
+    eliminate_symbols,
+    find_integer_point,
+    prune_redundant,
+    rational_feasible,
+)
+
+
+def ge(lhs, rhs=0):
+    return Constraint.ge(lhs, rhs)
+
+
+def le(lhs, rhs):
+    return Constraint.le(lhs, rhs)
+
+
+def eq(lhs, rhs=0):
+    return Constraint.eq(lhs, rhs)
+
+
+class TestEliminateSymbol:
+    def test_pairwise_combination(self):
+        # x >= y and x <= z  ->  y <= z
+        cons = [ge(V("x") - V("y")), ge(V("z") - V("x"))]
+        out = eliminate_symbol(cons, "x")
+        assert len(out) == 1
+        assert out[0].satisfied_by({"y": 2, "z": 5})
+        assert not out[0].satisfied_by({"y": 5, "z": 2})
+
+    def test_equality_substitution_unit(self):
+        # x == y + 1 and x <= 5  ->  y <= 4
+        cons = [eq(V("x") - V("y") - 1), le(V("x"), 5)]
+        out = eliminate_symbol(cons, "x")
+        assert all(c.coeff("x") == 0 for c in out)
+        assert all(c.satisfied_by({"y": 4}) for c in out)
+        assert not all(c.satisfied_by({"y": 5}) for c in out)
+
+    def test_equality_with_non_unit_coefficient(self):
+        # 2x == y and 0 <= x <= 3  ->  0 <= y <= 6 (rationally)
+        cons = [eq(V("x") * 2 - V("y")), ge(V("x")), le(V("x"), 3)]
+        out = eliminate_symbol(cons, "x")
+        assert all(c.coeff("x") == 0 for c in out)
+        assert all(c.satisfied_by({"y": 6}) for c in out)
+        assert not all(c.satisfied_by({"y": 7}) for c in out)
+
+    def test_unconstrained_symbol_passthrough(self):
+        cons = [ge(V("y"), 3)]
+        assert eliminate_symbol(cons, "x") == cons
+
+    def test_multi_symbol_elimination_order_independent(self):
+        cons = [
+            ge(V("x")), le(V("x"), 4),
+            ge(V("y") - V("x")), le(V("y"), 6),
+            ge(V("z") - V("y")), le(V("z"), 8),
+        ]
+        a = eliminate_symbols(cons, ["x", "y"])
+        b = eliminate_symbols(cons, ["y", "x"])
+        for probe in ({"z": 0}, {"z": 8}, {"z": -1}, {"z": 9}):
+            assert all(c.satisfied_by(probe) for c in a) == all(
+                c.satisfied_by(probe) for c in b
+            )
+
+
+class TestRationalFeasible:
+    def test_feasible(self):
+        assert rational_feasible([ge(V("x")), le(V("x"), 3)])
+
+    def test_infeasible(self):
+        assert not rational_feasible([ge(V("x"), 5), le(V("x"), 3)])
+
+    def test_infeasible_via_combination(self):
+        # x <= y, y <= z, z <= x - 1
+        cons = [
+            ge(V("y") - V("x")),
+            ge(V("z") - V("y")),
+            ge(V("x") - 1 - V("z")),
+        ]
+        assert not rational_feasible(cons)
+
+
+class TestFindIntegerPoint:
+    def test_simple_box(self):
+        pt = find_integer_point([ge(V("x"), 2), le(V("x"), 2)])
+        assert pt == {"x": 2}
+
+    def test_respects_all_constraints(self):
+        cons = [ge(V("x")), le(V("x"), 10), ge(V("y") - V("x"), 3), le(V("y"), 5)]
+        pt = find_integer_point(cons)
+        assert pt is not None
+        assert all(c.satisfied_by(pt) for c in cons)
+
+    def test_rational_but_not_integer(self):
+        # 2x == 5: rationally feasible, integrally not (caught at
+        # normalisation time by the gcd test)
+        pt = find_integer_point([eq(V("x") * 2 - 5)])
+        assert pt is None
+
+    def test_integer_gap(self):
+        # 1 <= 3x <= 2 has rational solutions only
+        pt = find_integer_point([ge(V("x") * 3, 1), le(V("x") * 3, 2)])
+        assert pt is None
+
+    def test_negative_ranges(self):
+        pt = find_integer_point([ge(V("x"), -7), le(V("x"), -5)])
+        assert pt is not None and -7 <= pt["x"] <= -5
+
+
+class TestBoundsForSymbol:
+    def test_two_sided(self):
+        cons = [ge(V("x"), 1), le(V("x"), 9)]
+        assert bounds_for_symbol(cons, "x", {}) == (1, 9, True)
+
+    def test_with_binding(self):
+        cons = [ge(V("x") - V("y")), le(V("x"), 9)]
+        lo, hi, _ = bounds_for_symbol(cons, "x", {"y": 4})
+        assert (lo, hi) == (4, 9)
+
+    def test_ceil_floor_rounding(self):
+        # 3x >= 4  ->  x >= 2 (ceil)   ;   3x <= 8  ->  x <= 2 (floor)
+        cons = [ge(V("x") * 3, 4), le(V("x") * 3, 8)]
+        lo, hi, _ = bounds_for_symbol(cons, "x", {})
+        assert (lo, hi) == (2, 2)
+
+    def test_equality_pins(self):
+        cons = [eq(V("x") - 7)]
+        lo, hi, _ = bounds_for_symbol(cons, "x", {})
+        assert (lo, hi) == (7, 7)
+
+    def test_unbounded_sides(self):
+        lo, hi, _ = bounds_for_symbol([ge(V("x"), 3)], "x", {})
+        assert lo == 3 and hi is None
+
+
+class TestPruneRedundant:
+    def test_drops_implied(self):
+        cons = [ge(V("x")), le(V("x"), 5), le(V("x"), 50)]
+        out = prune_redundant(cons)
+        assert len(out) == 2
+        assert all(c.satisfied_by({"x": 5}) for c in out)
+        assert not all(c.satisfied_by({"x": 6}) for c in out)
+
+    def test_keeps_equalities(self):
+        cons = [eq(V("x") - 3), ge(V("x"))]
+        out = prune_redundant(cons)
+        assert any(c.kind == "==" for c in out)
+
+    def test_symbols_helper(self):
+        cons = [ge(V("a") + V("b")), le(V("c"), 3)]
+        assert set(constraint_symbols(cons)) == {"a", "b", "c"}

@@ -1,0 +1,107 @@
+"""Tests for the Halide-style scheduling DSL and lexmin/lexmax."""
+
+import pytest
+
+from repro.baselines.halide_dsl import HalideSchedule, HalideScheduleError
+from repro.machine import analyze_optimized, cpu_time
+from repro.pipelines import unsharp_mask
+from repro.presburger import lexmax, lexmin, parse_set
+
+
+@pytest.fixture()
+def prog():
+    return unsharp_mask.build(256)
+
+
+def stage_names(prog):
+    return [s[0] for s in prog.stages]
+
+
+class TestHalideSchedule:
+    def test_default_partition_inlines_into_output(self, prog):
+        sched = HalideSchedule(prog)
+        partition = sched.partition()
+        assert len(partition) == 1  # everything in the output's group
+        assert sorted(partition[0]) == sorted(prog.statement_names)
+
+    def test_compute_root_splits(self, prog):
+        names = stage_names(prog)
+        sched = HalideSchedule(prog).compute_root(names[0])
+        partition = sched.partition()
+        assert len(partition) == 2
+        assert partition[0] == [names[0]]
+
+    def test_compute_at_follows_anchor(self, prog):
+        names = stage_names(prog)
+        sched = (
+            HalideSchedule(prog)
+            .compute_root(names[1])
+            .compute_at(names[0], names[1])
+        )
+        partition = sched.partition()
+        assert sorted(partition[0]) == sorted([names[0], names[1]])
+
+    def test_compute_at_chain_resolves_to_root(self, prog):
+        names = stage_names(prog)
+        sched = (
+            HalideSchedule(prog)
+            .compute_at(names[0], names[1])
+            .compute_at(names[1], names[3])
+        )
+        partition = sched.partition()
+        assert len(partition) == 1
+
+    def test_unknown_stage_rejected(self, prog):
+        with pytest.raises(HalideScheduleError):
+            HalideSchedule(prog).compute_root("nope")
+
+    def test_compute_at_cycle_rejected(self, prog):
+        names = stage_names(prog)
+        sched = (
+            HalideSchedule(prog)
+            .compute_at(names[0], names[1])
+            .compute_at(names[1], names[0])
+        )
+        with pytest.raises(HalideScheduleError):
+            sched.partition()
+
+    def test_lower_and_cost(self, prog):
+        names = stage_names(prog)
+        fused = HalideSchedule(prog).lower((8, 32))
+        split = (
+            HalideSchedule(prog)
+            .compute_root(names[0])
+            .compute_root(names[1])
+            .lower((8, 32))
+        )
+        t_fused = cpu_time(analyze_optimized(fused), 32)
+        t_split = cpu_time(analyze_optimized(split), 32)
+        assert t_fused < t_split  # materialising stages costs DRAM trips
+
+
+class TestLexExtremes:
+    def test_triangular(self):
+        s = parse_set("{ S[i, j] : 0 <= i < 5 and i <= j < 5 }")
+        assert lexmin(s) == {"i": 0, "j": 0}
+        assert lexmax(s) == {"i": 4, "j": 4}
+
+    def test_union_pieces(self):
+        s = parse_set("{ S[i] : 3 <= i < 7 or -2 <= i < 1 }")
+        assert lexmin(s)["i"] == -2
+        assert lexmax(s)["i"] == 6
+
+    def test_empty(self):
+        s = parse_set("{ S[i] : i > 2 and i < 2 }")
+        assert lexmin(s) is None
+
+    def test_lex_order_not_pointwise_min(self):
+        # lexmin picks smallest i first, then smallest j for that i
+        s = parse_set("{ S[i, j] : i = 0 and 3 <= j < 5 or i = 1 and j = 0 }")
+        assert lexmin(s) == {"i": 0, "j": 3}
+        assert lexmax(s) == {"i": 1, "j": 0}
+
+    def test_params_must_be_bound(self):
+        s = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        with pytest.raises(ValueError):
+            lexmin(s)
+        assert lexmin(s, {"N": 5}) == {"i": 0}

@@ -1,0 +1,117 @@
+"""Edge-case tests for the interpreter backend."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interp import (
+    ExecutionError,
+    build_streams,
+    execute_naive,
+    execute_tree,
+    make_store,
+    run_program,
+)
+from repro.ir import ProgramBuilder
+from repro.schedule import (
+    DomainNode,
+    FilterNode,
+    LeafNode,
+    MarkNode,
+    SequenceNode,
+    initial_tree,
+    mark_skipped,
+    top_level_filters,
+)
+
+
+def tiny_program(n=6):
+    b = ProgramBuilder("tiny", params={})
+    A = b.tensor("A", (n,))
+    B = b.tensor("B", (n,))
+    (i,) = b.iters("i")
+    b.assign("Sa", (i,), f"0 <= i < {n}", A[i], 2.0)
+    b.assign("Sb", (i,), f"0 <= i < {n}", B[i], A[i] * 3.0)
+    b.set_liveout("B")
+    return b.build()
+
+
+class TestStreams:
+    def test_stream_per_statement(self):
+        prog = tiny_program()
+        streams = build_streams(initial_tree(prog), prog, {})
+        assert sorted(s.stmt.name for s in streams) == ["Sa", "Sb"]
+
+    def test_skipped_filter_removes_stream(self):
+        prog = tiny_program()
+        tree = initial_tree(prog)
+        mark_skipped(top_level_filters(tree)[0])
+        streams = build_streams(tree, prog, {})
+        assert [s.stmt.name for s in streams] == ["Sb"]
+
+    def test_non_skip_marks_pass_through(self):
+        prog = tiny_program()
+        tree = initial_tree(prog)
+        filt = top_level_filters(tree)[0]
+        filt.child = MarkNode("kernel:k0", filt.child)
+        streams = build_streams(tree, prog, {})
+        assert len(streams) == 2
+
+    def test_multi_piece_domain_executes_each_piece(self):
+        b = ProgramBuilder("pieces", params={})
+        A = b.tensor("A", (10,))
+        (i,) = b.iters("i")
+        b.assign("S", (i,), "0 <= i < 3 or 6 <= i < 9", A[i], 1.0)
+        prog = b.build()
+        store = make_store(prog)
+        counts = execute_tree(initial_tree(prog), prog, store)
+        assert counts["S"] == 6
+        np.testing.assert_allclose(store["A"][[0, 1, 2, 6, 7, 8]], 1.0)
+        np.testing.assert_allclose(store["A"][[3, 4, 5, 9]], 0.0)
+
+
+class TestSemantics:
+    def test_sequence_order_respected(self):
+        prog = tiny_program()
+        store = make_store(prog)
+        execute_tree(initial_tree(prog), prog, store)
+        np.testing.assert_allclose(store["B"], 6.0)
+
+    def test_reduce_accumulates(self):
+        b = ProgramBuilder("red", params={})
+        A = b.tensor("A", (4,))
+        tot = b.tensor("tot", (1,))
+        (i,) = b.iters("i")
+        b.assign("Sz", (i,), "0 <= i < 1", tot[i], 0)
+        b.reduce("Sr", (i,), "0 <= i < 4", tot[0], A[i])
+        prog = b.build()
+        store = make_store(prog)
+        execute_tree(initial_tree(prog), prog, store)
+        assert store["tot"][0] == pytest.approx(store["A"].sum())
+
+    def test_counts_match_domains(self):
+        prog = tiny_program(9)
+        store = make_store(prog)
+        counts = execute_naive(prog, store)
+        assert counts == {"Sa": 9, "Sb": 9}
+
+    def test_empty_domain_statement(self):
+        b = ProgramBuilder("empty", params={})
+        A = b.tensor("A", (4,))
+        (i,) = b.iters("i")
+        b.assign("S0", (i,), "0 <= i < 4", A[i], 1.0)
+        b.assign("S1", (i,), "0 <= i < 0", A[i], 9.0)  # never runs
+        prog = b.build()
+        store = make_store(prog)
+        counts = execute_tree(initial_tree(prog), prog, store)
+        assert counts.get("S1") is None
+        np.testing.assert_allclose(store["A"], 1.0)
+
+    def test_unbounded_execution_rejected(self):
+        b = ProgramBuilder("unbounded", params={})
+        A = b.tensor("A", (4,))
+        (i,) = b.iters("i")
+        b.assign("S", (i,), "i >= 0", A[0], 1.0)
+        prog = b.build()
+        store = make_store(prog)
+        with pytest.raises(ExecutionError):
+            execute_tree(initial_tree(prog), prog, store)

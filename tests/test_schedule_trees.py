@@ -1,0 +1,125 @@
+"""Unit tests for schedule trees and their transformations."""
+
+import pytest
+
+from repro.pipelines import conv2d
+from repro.presburger import LinExpr, parse_union_map
+from repro.schedule import (
+    BandNode,
+    DomainNode,
+    ExtensionNode,
+    FilterNode,
+    LeafNode,
+    MarkNode,
+    SequenceNode,
+    SKIPPED,
+    band_from_dims,
+    collect_bands,
+    filter_of_statement,
+    initial_tree,
+    insert_extension_below,
+    is_skipped,
+    mark_skipped,
+    split_band,
+    top_level_filters,
+    tree_statements,
+    unmark_skipped,
+)
+
+
+@pytest.fixture()
+def tree():
+    return initial_tree(conv2d.build({"H": 8, "W": 8}))
+
+
+class TestInitialTree:
+    def test_structure(self, tree):
+        assert isinstance(tree, DomainNode)
+        seq = tree.child
+        assert isinstance(seq, SequenceNode)
+        assert [f.statements for f in seq.filters] == [
+            ("S0",), ("S1",), ("S2",), ("S3",)
+        ]
+
+    def test_bands_cover_statement_dims(self, tree):
+        bands = collect_bands(tree)
+        by_stmt = {b.statements()[0]: b for b in bands}
+        assert by_stmt["S2"].n_dims == 4
+        assert by_stmt["S0"].n_dims == 2
+
+    def test_walk_visits_all(self, tree):
+        kinds = [type(n).__name__ for n in tree.walk()]
+        assert kinds.count("FilterNode") == 4
+        assert kinds.count("BandNode") == 4
+        assert kinds.count("LeafNode") == 4
+
+    def test_pretty_renders(self, tree):
+        text = tree.pretty()
+        assert "domain" in text
+        assert "sequence" in text
+        assert "band" in text
+
+
+class TestBandNode:
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            BandNode({"S": [LinExpr.var("i")]}, ["a", "b"])
+
+    def test_tile_sizes_arity_checked(self):
+        with pytest.raises(ValueError):
+            BandNode({"S": [LinExpr.var("i")]}, ["a"], tile_sizes=[4, 4])
+
+    def test_n_parallel_prefix(self):
+        b = band_from_dims({"S": ["i", "j", "k"]}, ["a", "b", "c"],
+                           coincident=[True, True, False])
+        assert b.n_parallel() == 2
+
+    def test_copy_is_deep(self, tree):
+        clone = tree.copy()
+        mark_skipped(top_level_filters(clone)[0])
+        assert not is_skipped(top_level_filters(tree)[0])
+
+
+class TestSplitBand:
+    def test_split(self):
+        b = band_from_dims({"S": ["i", "j"]}, ["a", "b"], coincident=[True, False])
+        outer, inner = split_band(b, 1)
+        assert outer.n_dims == 1 and inner.n_dims == 1
+        assert outer.child is inner
+        assert outer.coincident == [True]
+        assert inner.coincident == [False]
+
+    def test_split_bounds_checked(self):
+        b = band_from_dims({"S": ["i", "j"]}, ["a", "b"])
+        with pytest.raises(ValueError):
+            split_band(b, 0)
+        with pytest.raises(ValueError):
+            split_band(b, 2)
+
+
+class TestMarks:
+    def test_mark_and_unmark(self, tree):
+        filt = top_level_filters(tree)[0]
+        mark_skipped(filt)
+        assert is_skipped(filt)
+        mark_skipped(filt)  # idempotent
+        assert isinstance(filt.child, MarkNode)
+        assert not isinstance(filt.child.child, MarkNode)
+        unmark_skipped(filt)
+        assert not is_skipped(filt)
+
+
+class TestExtensionInsertion:
+    def test_insert_below_band(self, tree):
+        filt = filter_of_statement(tree, "S2")
+        band = filt.child
+        ext_map = parse_union_map("{ [t0, t1] -> S0[h, w] : t0 <= h < t0 + 4 }")
+        node = insert_extension_below(band, ext_map, LeafNode())
+        assert isinstance(band.child, ExtensionNode)
+        assert node.added_statements() == ("S0",)
+        seq = node.child
+        assert isinstance(seq, SequenceNode)
+        assert seq.filters[0].statements == ("S0",)
+
+    def test_tree_statements(self, tree):
+        assert set(tree_statements(tree)) == {"S0", "S1", "S2", "S3"}

@@ -1,0 +1,138 @@
+"""Tests for the start-up scheduler: fusion heuristics, attributes, tiling."""
+
+import pytest
+
+from repro.pipelines import conv2d
+from repro.scheduler import (
+    HYBRIDFUSE,
+    MAXFUSE,
+    MINFUSE,
+    SMARTFUSE,
+    SchedulerError,
+    schedule_program,
+    tile_band,
+    tile_group,
+)
+from repro.schedule import BandNode, collect_bands, top_level_filters
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return conv2d.build({"H": 12, "W": 12, "KH": 3, "KW": 3})
+
+
+class TestMinfuse:
+    def test_one_group_per_statement(self, prog):
+        sched = schedule_program(prog, MINFUSE)
+        assert [g.statements for g in sched.groups] == [["S0"], ["S1"], ["S2"], ["S3"]]
+
+    def test_pointwise_statement_fully_parallel(self, prog):
+        sched = schedule_program(prog, MINFUSE)
+        g0 = sched.group_of("S0")
+        assert g0.coincident == [True, True]
+        assert g0.permutable
+
+    def test_reduction_gets_permutable_prefix_band(self, prog):
+        """Pluto-style band splitting: S2's tile band is the (h, w) prefix;
+        the reduction loops kh, kw stay nested inside."""
+        sched = schedule_program(prog, MINFUSE)
+        g2 = sched.group_of("S2")
+        # (h, w, kh) is the maximal permutable prefix: the kh self-dep
+        # distance is non-negative, while kw's may be negative when kh
+        # advances.  The kw loop stays nested inside the band.
+        assert g2.depth == 3
+        assert g2.coincident == [True, True, False]
+        assert g2.permutable
+
+
+class TestSmartfuse:
+    def test_paper_grouping(self, prog):
+        """smartfuse must find ({S0}, {S1, S2, S3}) — Fig. 1(b)."""
+        sched = schedule_program(prog, SMARTFUSE)
+        memberships = [set(g.statements) for g in sched.groups]
+        assert {"S0"} in memberships
+        assert {"S1", "S2", "S3"} in memberships
+
+    def test_fused_group_keeps_parallelism(self, prog):
+        sched = schedule_program(prog, SMARTFUSE)
+        g = sched.group_of("S2")
+        assert g.depth == 2
+        assert g.coincident == [True, True]
+        assert g.permutable
+
+    def test_tree_shape(self, prog):
+        sched = schedule_program(prog, SMARTFUSE)
+        filters = top_level_filters(sched.tree)
+        assert len(filters) == 2
+        assert filters[0].statements == ("S0",)
+        assert set(filters[1].statements) == {"S1", "S2", "S3"}
+
+
+class TestMaxfuse:
+    def test_single_group(self, prog):
+        sched = schedule_program(prog, MAXFUSE)
+        assert len(sched.groups) == 1
+        assert set(sched.groups[0].statements) == {"S0", "S1", "S2", "S3"}
+
+    def test_shifts_restore_legality_but_kill_parallelism(self, prog):
+        sched = schedule_program(prog, MAXFUSE)
+        g = sched.groups[0]
+        # S2 is shifted by the stencil radius relative to S0
+        s2_row0 = g.rows["S2"][0]
+        assert s2_row0.const == 2  # KH - 1
+        assert g.permutable  # shifted distances are non-negative
+        assert g.coincident == [False, False]  # ... but no longer coincident
+
+    def test_maxfuse_loses_parallelism_vs_smartfuse(self, prog):
+        smart = schedule_program(prog, SMARTFUSE)
+        maxf = schedule_program(prog, MAXFUSE)
+        assert smart.group_of("S2").n_parallel() == 2
+        assert maxf.group_of("S2").n_parallel() == 0
+
+
+class TestHybridfuse:
+    def test_accepts_rectangular(self, prog):
+        sched = schedule_program(prog, HYBRIDFUSE)
+        assert sched.hybrid_inner
+
+    def test_rejects_triangular_domains(self):
+        from repro.ir import ProgramBuilder
+
+        b = ProgramBuilder("tri", params={"N": 8})
+        A = b.tensor("A", ("N", "N"))
+        i, j = b.iters("i", "j")
+        b.assign("S", (i, j), "0 <= i < N and i <= j < N", A[i, j], 1)
+        prog = b.build()
+        with pytest.raises(SchedulerError):
+            schedule_program(prog, HYBRIDFUSE)
+
+
+class TestTiling:
+    def test_tile_band_structure(self, prog):
+        sched = schedule_program(prog, SMARTFUSE)
+        g = sched.group_of("S2")
+        tile = tile_group(sched.tree, g, [4, 4])
+        assert tile is not None
+        assert tile.tile_sizes == (4, 4)
+        point = tile.child
+        assert isinstance(point, BandNode)
+        assert point.tile_sizes is None
+        assert point.n_dims == 2
+
+    def test_tile_band_rejects_non_permutable(self):
+        from repro.presburger import LinExpr
+
+        band = BandNode(
+            {"S": [LinExpr.var("i")]}, ["b0"], permutable=False
+        )
+        with pytest.raises(ValueError):
+            tile_band(band, [8])
+
+    def test_tile_sizes_validation(self, prog):
+        sched = schedule_program(prog, SMARTFUSE)
+        filt = top_level_filters(sched.tree)[1]
+        band = filt.child
+        with pytest.raises(ValueError):
+            tile_band(band, [0, 4])
+        with pytest.raises(ValueError):
+            tile_band(band, [4, 4, 4])

@@ -1,0 +1,74 @@
+"""Tests for the schedule legality validator."""
+
+import pytest
+
+from repro.core import optimize
+from repro.core.validate import validate_tree
+from repro.pipelines import conv2d, harris, polybench, unsharp_mask
+from repro.schedule import initial_tree, top_level_filters
+from repro.scheduler import MAXFUSE, MINFUSE, SMARTFUSE, schedule_program
+
+PARAMS = {"H": 10, "W": 10, "KH": 3, "KW": 3}
+
+
+class TestLegalSchedules:
+    def test_initial_tree_is_legal(self):
+        prog = conv2d.build(PARAMS)
+        report = validate_tree(initial_tree(prog), prog)
+        assert report.ok, str(report)
+        assert report.checked_pairs > 0
+
+    @pytest.mark.parametrize("heuristic", [MINFUSE, SMARTFUSE, MAXFUSE])
+    def test_heuristic_trees_are_legal(self, heuristic):
+        prog = conv2d.build(PARAMS)
+        sched = schedule_program(prog, heuristic)
+        assert validate_tree(sched.tree, prog).ok
+
+    def test_post_tiling_fusion_is_legal(self):
+        prog = conv2d.build(PARAMS)
+        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        report = validate_tree(res.tree, prog)
+        assert report.ok, str(report)
+
+    def test_deep_pipeline_fusion_is_legal(self):
+        prog = unsharp_mask.build(20)
+        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        assert validate_tree(res.tree, prog).ok
+
+    def test_diamond_pipeline_is_legal(self):
+        prog = harris.build(16)
+        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        report = validate_tree(res.tree, prog)
+        assert report.ok, str(report)
+
+    def test_multi_liveout_is_legal(self):
+        prog = polybench.build_gemver(8)
+        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        assert validate_tree(res.tree, prog).ok
+
+
+class TestIllegalSchedules:
+    def test_reversed_sequence_is_caught(self):
+        """Swapping the producer and consumer filters must be flagged."""
+        prog = conv2d.build(PARAMS)
+        tree = initial_tree(prog)
+        seq = tree.child
+        seq.filters.reverse()  # S3 before S2 before S1 before S0
+        report = validate_tree(tree, prog)
+        assert not report.ok
+        kinds = {(v.dep.source, v.dep.target) for v in report.violations}
+        assert ("S0", "S2") in kinds or ("S1", "S2") in kinds
+
+    def test_skipped_producer_without_extension_is_caught(self):
+        """Marking a producer 'skipped' with no extension replacement means
+        its values never materialise."""
+        from repro.schedule import mark_skipped
+
+        prog = conv2d.build(PARAMS)
+        tree = initial_tree(prog)
+        mark_skipped(top_level_filters(tree)[0])  # drop S0 entirely
+        report = validate_tree(tree, prog)
+        assert not report.ok
+        assert any(
+            "never executes" in v.reason for v in report.violations
+        )

@@ -1,0 +1,154 @@
+"""Compilation-service benchmark: cold vs. warm compiles, serial vs.
+parallel autotuning.
+
+The service layer's claim is that a second structurally identical compile
+is (nearly) free and that tile-size tuning parallelises across the batch
+driver.  This benchmark measures both: per-workload cold compile time
+against a warm ``cached_optimize`` hit (memory tier and disk tier), and
+autotune wall time through the serial vs. process-pool driver, cold and
+with a warm cache.  Results land in ``benchmarks/results/compile_cache.json``.
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from common import image_program, print_table, save_results
+from repro.pipelines import conv2d, polybench
+from repro.scheduler.autotune import autotune_tile_sizes
+from repro.service import CompileCache, cached_optimize
+
+TUNE_CANDIDATES = (8, 16, 32, 64)
+
+
+def bench_workloads():
+    _, harris = image_program("harris", 512)
+    return [
+        ("harris", harris, (32, 256)),
+        ("conv2d", conv2d.build({"H": 128, "W": 128, "KH": 3, "KW": 3}), (32, 32)),
+        ("atax", polybench.BUILDERS["atax"](256), (32, 32)),
+    ]
+
+
+def measure_cold_warm():
+    rows, raw = [], {}
+    for name, prog, tiles in bench_workloads():
+        with tempfile.TemporaryDirectory() as cache_dir:
+            cache = CompileCache(cache_dir=cache_dir)
+            t0 = time.perf_counter()
+            cached_optimize(prog, "cpu", tiles, cache=cache)
+            cold = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            cached_optimize(prog, "cpu", tiles, cache=cache)
+            warm_memory = time.perf_counter() - t0
+
+            disk_only = CompileCache(cache_dir=cache_dir)
+            t0 = time.perf_counter()
+            cached_optimize(prog, "cpu", tiles, cache=disk_only)
+            warm_disk = time.perf_counter() - t0
+            assert cache.stats.memory_hits == 1, cache.stats
+            assert disk_only.stats.disk_hits == 1, disk_only.stats
+
+        raw[name] = {
+            "cold_seconds": cold,
+            "warm_memory_seconds": warm_memory,
+            "warm_disk_seconds": warm_disk,
+            "speedup_memory": cold / warm_memory if warm_memory else float("inf"),
+            "speedup_disk": cold / warm_disk if warm_disk else float("inf"),
+        }
+        rows.append(
+            [
+                name,
+                f"{cold * 1e3:.1f}",
+                f"{warm_memory * 1e3:.1f}",
+                f"{warm_disk * 1e3:.1f}",
+                f"{raw[name]['speedup_memory']:.1f}x",
+            ]
+        )
+    return rows, raw
+
+
+def measure_autotune():
+    prog = conv2d.build({"H": 128, "W": 128, "KH": 3, "KW": 3})
+
+    t0 = time.perf_counter()
+    serial = autotune_tile_sizes(prog, candidates=TUNE_CANDIDATES, dims=2)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = autotune_tile_sizes(
+        prog, candidates=TUNE_CANDIDATES, dims=2, mode="auto", jobs=4
+    )
+    parallel_s = time.perf_counter() - t0
+    assert parallel.best_sizes == serial.best_sizes
+    assert parallel.best_time == serial.best_time
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = CompileCache(cache_dir=cache_dir)
+        autotune_tile_sizes(prog, candidates=TUNE_CANDIDATES, dims=2, cache=cache)
+        t0 = time.perf_counter()
+        warm = autotune_tile_sizes(
+            prog, candidates=TUNE_CANDIDATES, dims=2, cache=cache
+        )
+        warm_s = time.perf_counter() - t0
+        assert warm.best_sizes == serial.best_sizes
+
+    raw = {
+        "workload": "conv2d-128",
+        "candidates": len(serial.evaluations) + len(serial.failures),
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "warm_cache_seconds": warm_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        "warm_speedup": serial_s / warm_s if warm_s else float("inf"),
+        "best_sizes": list(serial.best_sizes),
+    }
+    rows = [
+        [
+            raw["workload"],
+            raw["candidates"],
+            f"{serial_s:.2f}",
+            f"{parallel_s:.2f}",
+            f"{warm_s:.2f}",
+            f"{raw['parallel_speedup']:.1f}x",
+            f"{raw['warm_speedup']:.1f}x",
+        ]
+    ]
+    return rows, raw
+
+
+def run():
+    cold_rows, cold_raw = measure_cold_warm()
+    print_table(
+        "Cold vs. warm compile time (ms)",
+        ["benchmark", "cold", "warm (mem)", "warm (disk)", "speedup"],
+        cold_rows,
+    )
+    tune_rows, tune_raw = measure_autotune()
+    print_table(
+        "Autotune wall time (s): serial vs. parallel driver",
+        ["workload", "tilings", "serial", "parallel", "warm cache",
+         "par speedup", "warm speedup"],
+        tune_rows,
+    )
+    raw = {"cold_warm": cold_raw, "autotune": tune_raw}
+    path = save_results("compile_cache", raw)
+    print(f"saved {path}")
+    return raw
+
+
+def test_compile_cache(benchmark):
+    raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, r in raw["cold_warm"].items():
+        # Warm hits must beat recompiling — by a lot.
+        assert r["speedup_memory"] > 2, (name, r)
+        assert r["speedup_disk"] > 2, (name, r)
+    assert raw["autotune"]["warm_speedup"] > 1
+
+
+if __name__ == "__main__":
+    run()

@@ -8,7 +8,10 @@ Subcommands:
 * ``code <workload>`` — print the generated OpenMP or CUDA code;
 * ``time <workload>`` — predicted execution times for our pass and the
   PPCG fusion heuristics on the modeled machines;
-* ``tune <workload>`` — tile-size auto-tuning against the machine model.
+* ``tune <workload>`` — tile-size auto-tuning against the machine model
+  (``--jobs N`` fans candidates out over the batch-compile driver);
+* ``cache info`` / ``cache clear`` — inspect or empty the on-disk compile
+  cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -56,13 +59,29 @@ def cmd_list(_args) -> int:
 
 
 def cmd_optimize(args) -> int:
+    from .service import cached_optimize, default_cache, instrument
+
     prog = _build_workload(args.workload, args.size)
     tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
-    result = optimize(prog, target=args.target, tile_sizes=tiles)
+    cache = None if args.no_cache else default_cache()
+    with instrument.collect() as report:
+        if cache is None:
+            result = optimize(prog, target=args.target, tile_sizes=tiles)
+        else:
+            result = cached_optimize(
+                prog, target=args.target, tile_sizes=tiles, cache=cache
+            )
+    cached = cache is not None and cache.stats.hits > 0
     print(f"workload:     {prog.name} ({len(prog.statements)} statements)")
     print(f"target:       {result.target.name}, tile sizes {tiles}")
-    print(f"compile time: {result.compile_seconds * 1e3:.1f} ms")
+    print(f"compile time: {result.compile_seconds * 1e3:.1f} ms"
+          + (" (served from cache)" if cached else ""))
     print(f"fusion:       {result.fusion_summary()}")
+    if args.stats:
+        if cache is not None:
+            report.merge_cache_stats(cache.stats.as_dict())
+        print()
+        print(report.format())
     if args.tree:
         print()
         print(result.tree.pretty())
@@ -111,11 +130,20 @@ def cmd_time(args) -> int:
 
 def cmd_tune(args) -> int:
     from .scheduler.autotune import autotune_tile_sizes
+    from .service import default_cache
 
     prog = _build_workload(args.workload, args.size)
     candidates = tuple(args.candidates) if args.candidates else (8, 32, 128)
+    mode = "auto" if args.jobs else "serial"
+    cache = None if args.no_cache else default_cache()
     result = autotune_tile_sizes(
-        prog, target=args.target, threads=args.threads, candidates=candidates
+        prog,
+        target=args.target,
+        threads=args.threads,
+        candidates=candidates,
+        mode=mode,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(f"searched {len(result.evaluations)} tilings "
           f"in {result.tuning_seconds:.1f} s")
@@ -123,6 +151,28 @@ def cmd_tune(args) -> int:
           f"({result.best_time * 1e3:.3f} ms modeled)")
     for sizes, t in result.top(5):
         print(f"  {str(sizes):14s} {t * 1e3:9.3f} ms")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .service import default_cache
+
+    cache = default_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.cache_dir}")
+        return 0
+    info = cache.info()
+    print(f"cache dir:      {info['cache_dir']}")
+    print(f"schema version: {info['schema_version']}")
+    print(f"disk entries:   {info['disk_entries']} "
+          f"({info['disk_bytes'] / 1024:.1f} KiB)")
+    print(f"memory entries: {info['memory_entries']} "
+          f"({info['memory_bytes'] / 1024:.1f} KiB)")
+    stats = info["stats"]
+    print(f"session stats:  {stats['memory_hits']} memory hits, "
+          f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
+          f"{stats['stores']} stores")
     return 0
 
 
@@ -134,6 +184,10 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads").set_defaults(fn=cmd_list)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the compile cache")
+    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p.set_defaults(fn=cmd_cache)
 
     for name, fn in (
         ("optimize", cmd_optimize),
@@ -148,10 +202,27 @@ def main(argv=None) -> int:
         p.add_argument("--target", choices=["cpu", "gpu", "npu"], default="cpu")
         if name == "optimize":
             p.add_argument("--tree", action="store_true", help="print the schedule tree")
+            p.add_argument(
+                "--stats",
+                action="store_true",
+                help="print per-pass timings, counters and cache hit/miss counts",
+            )
         if name in ("time", "tune"):
             p.add_argument("--threads", type=int, default=32)
         if name == "tune":
             p.add_argument("--candidates", type=int, nargs="+", default=None)
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                help="evaluate candidates in parallel over N workers",
+            )
+        if name in ("optimize", "tune"):
+            p.add_argument(
+                "--no-cache",
+                action="store_true",
+                help="bypass the compile cache",
+            )
         p.set_defaults(fn=fn)
 
     args = parser.parse_args(argv)

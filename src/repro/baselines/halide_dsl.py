@@ -15,8 +15,8 @@ the schedule author wrote, never derived from the data space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..core import TargetSpec
 from ..core.tile_shapes import CPU

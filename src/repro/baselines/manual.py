@@ -17,13 +17,12 @@ Two levels of fidelity:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core import MixedSchedules, TargetSpec, construct_tile_shapes
 from ..core.tile_shapes import CPU
 from ..deps import memory_deps
 from ..ir import Program
-from ..presburger import LinExpr
 from ..scheduler import FusionGroup, Scheduled, groups_tree, identity_rows
 from ..scheduler.parallelism import band_attributes
 

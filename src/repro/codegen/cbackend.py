@@ -22,23 +22,11 @@ import os
 import shutil
 import subprocess
 import tempfile
-from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..ir import (
-    Affine,
-    BinOp,
-    Call,
-    Const,
-    Expr,
-    Load,
-    Program,
-    REDUCE,
-    Statement,
-    TensorStore,
-)
+from ..ir import Affine, BinOp, Call, Const, Expr, Load, Program, REDUCE, TensorStore
 from ..presburger import Constraint, LinExpr
 from ..schedule import (
     BandNode,
@@ -51,7 +39,7 @@ from ..schedule import (
     SequenceNode,
     SKIPPED,
 )
-from .printer import _bound_exprs, _combine, render_linexpr
+from .printer import _bound_exprs
 
 HEADER = """\
 #include <stdio.h>

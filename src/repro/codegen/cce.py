@@ -19,11 +19,11 @@ with ``target="npu"``:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..core import OptimizeResult, TILE_TUPLE
-from ..ir import BinOp, Load, Program, REDUCE, Statement
+from ..core import OptimizeResult
+from ..ir import BinOp, Program, REDUCE, Statement
 from ..machine.npu import DEFAULT_NPU, NPUSpec
 from .promotion import promoted_buffers
 

@@ -11,13 +11,12 @@ threads of the block then read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..core import OptimizeResult
 from ..schedule import (
     BandNode,
-    DomainNode,
     ExtensionNode,
     FilterNode,
     MarkNode,

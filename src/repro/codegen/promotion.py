@@ -14,14 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..core import (
-    OptimizeResult,
-    TILE_TUPLE,
-    TilingScheduleEntry,
-    tile_footprint,
-)
+from ..core import OptimizeResult, TILE_TUPLE, tile_footprint
 from ..ir import Program
-from ..presburger import Map
 from ..scheduler import FusionGroup
 
 

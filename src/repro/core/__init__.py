@@ -40,6 +40,7 @@ from .tile_shapes import (
     TargetSpec,
     TilingScheduleEntry,
     construct_tile_shapes,
+    effective_tile_sizes,
 )
 
 __all__ = [
@@ -57,6 +58,7 @@ __all__ = [
     "apply_mixed_schedules",
     "composite_tiling_fusion",
     "construct_tile_shapes",
+    "effective_tile_sizes",
     "exposed_tensors",
     "footprint_size",
     "intermediate_groups_of",

@@ -16,8 +16,7 @@ spaces and intermediate spaces shared between them (Fig. 6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set as PySet, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..ir import Program
 from ..presburger import Set, UnionSet
@@ -30,7 +29,7 @@ from .tile_shapes import (
     TilingScheduleEntry,
     CPU,
     construct_tile_shapes,
-    _effective_tile_sizes,
+    effective_tile_sizes,
 )
 from .footprint import tile_dim_names
 
@@ -152,7 +151,7 @@ def composite_tiling_fusion(
 
 def _append_standalone(mixed, group, tile_sizes, target) -> None:
     sizes = (
-        _effective_tile_sizes(group, tile_sizes, target)
+        effective_tile_sizes(group, tile_sizes, target)
         if group.permutable and group.n_parallel() >= target.min_m
         else None
     )

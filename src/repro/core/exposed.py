@@ -9,7 +9,7 @@ producer/consumer structure; no rescheduling is involved.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Tuple
 
 from ..ir import Program
 from ..presburger import Map, UnionMap

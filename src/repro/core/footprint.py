@@ -16,16 +16,9 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir import Program
-from ..presburger import (
-    BasicMap,
-    Constraint,
-    LinExpr,
-    Map,
-    MapSpace,
-    UnionMap,
-    fresh_names,
-)
+from ..presburger import BasicMap, Constraint, LinExpr, Map, MapSpace, UnionMap
 from ..scheduler import FusionGroup
+from ..service import instrument
 
 TILE_TUPLE = "_tile"
 
@@ -94,6 +87,17 @@ def tile_footprint(
     Only reads of the listed ``tensors`` (the upwards-exposed data) are
     included; results are keyed ``(TILE_TUPLE, tensor)``.
     """
+    with instrument.span("footprint"):
+        return _tile_footprint(program, group, tile_sizes, tensors, tile_dims)
+
+
+def _tile_footprint(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence[int],
+    tensors: Sequence[str],
+    tile_dims: Optional[Sequence[str]] = None,
+) -> UnionMap:
     t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
     out: Dict[str, Map] = {}
     for s in group.statements:
@@ -115,6 +119,7 @@ def tile_footprint(
                 out[tensor] = prev.union(fp.rename_dims(rename))
             else:
                 out[tensor] = fp
+    instrument.count("footprint.relations", len(out))
     return UnionMap(list(out.values()))
 
 

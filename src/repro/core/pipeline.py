@@ -17,8 +17,8 @@ Table I/III compilation-time comparison).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..ir import Program
 from ..schedule import DomainNode
@@ -28,9 +28,10 @@ from ..scheduler import (
     Scheduled,
     schedule_program,
 )
-from .compose import composite_tiling_fusion, liveout_groups
+from ..service import instrument
+from .compose import composite_tiling_fusion
 from .post_fusion import apply_mixed_schedules
-from .tile_shapes import CPU, GPU, NPU, MixedSchedules, TARGETS, TargetSpec
+from .tile_shapes import MixedSchedules, TARGETS, TargetSpec
 
 
 @dataclass
@@ -79,9 +80,12 @@ def optimize(
     """
     spec = TARGETS[target] if isinstance(target, str) else target
     t0 = time.perf_counter()
-    scheduled = schedule_program(program, startup)
-    mixed = composite_tiling_fusion(program, scheduled, tile_sizes, spec)
-    tree = apply_mixed_schedules(program, scheduled, mixed)
+    with instrument.span("startup_fusion"):
+        scheduled = schedule_program(program, startup)
+    with instrument.span("tile_shapes"):
+        mixed = composite_tiling_fusion(program, scheduled, tile_sizes, spec)
+    with instrument.span("post_fusion"):
+        tree = apply_mixed_schedules(program, scheduled, mixed)
     elapsed = time.perf_counter() - t0
     sizes = tuple(tile_sizes) if tile_sizes is not None else None
     return OptimizeResult(program, spec, sizes, scheduled, mixed, tree, elapsed)

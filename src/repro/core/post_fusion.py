@@ -10,10 +10,10 @@ original subtree is disabled with a ``"skipped"`` mark.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from ..ir import Program
-from ..presburger import Map, UnionMap
+from ..presburger import UnionMap
 from ..schedule import (
     BandNode,
     DomainNode,

@@ -17,14 +17,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..ir import Program
 from ..presburger import Map, UnionMap
 from ..scheduler import FusionGroup
-from .exposed import exposed_tensors, intermediate_groups_of
+from .exposed import exposed_tensors
 from .footprint import (
     TILE_TUPLE,
     interior_tile_origin,
     tile_count,
     tile_dim_names,
     tile_footprint,
-    tile_to_instances,
 )
 
 
@@ -148,7 +147,7 @@ def construct_tile_shapes(
     return mixed
 
 
-def _effective_tile_sizes(
+def effective_tile_sizes(
     group: FusionGroup, tile_sizes: Optional[Sequence[int]], target: TargetSpec
 ) -> Optional[Tuple[int, ...]]:
     """Clip the user tile-size vector to the group's band depth.
@@ -166,6 +165,10 @@ def _effective_tile_sizes(
     return sizes if sizes else None
 
 
+#: Backwards-compatible alias for the pre-promotion private name.
+_effective_tile_sizes = effective_tile_sizes
+
+
 def _algorithm1(
     program: Program,
     liveout: FusionGroup,
@@ -176,7 +179,7 @@ def _algorithm1(
 ) -> None:
     m = min(liveout.n_parallel(), target.m_cap)
     tilable = liveout.permutable and liveout.n_parallel() >= target.min_m
-    sizes = _effective_tile_sizes(liveout, tile_sizes, target) if tilable else None
+    sizes = effective_tile_sizes(liveout, tile_sizes, target) if tilable else None
 
     if sizes is None:
         # Line 18: the live-out space is not tilable; emit it untiled and

@@ -15,12 +15,11 @@ violation rather than as silently wrong numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..codegen.interp import Stream, _enumerate_stream, build_streams
+from ..codegen.interp import _enumerate_stream, build_streams
 from ..deps import Dependence, memory_deps
 from ..ir import Program
-from ..presburger.enumerate import enumerate_set_points
 from ..schedule import DomainNode
 
 

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 import networkx as nx
 
 from ..ir import Program
-from .analysis import Dependence, memory_deps
+from .analysis import memory_deps
 
 
 def dependence_graph(

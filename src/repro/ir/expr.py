@@ -14,7 +14,7 @@ three purposes:
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, Mapping, Sequence, Union
 
 from ..presburger import LinExpr
 

@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..presburger import LinExpr, Set, UnionMap, UnionSet, parse_set
-from .expr import Expr, Load, as_expr
+from .expr import Load, as_expr
 from .statement import ASSIGN, REDUCE, Statement
 from .tensor import Tensor
 

@@ -8,7 +8,7 @@ they can never drift out of sync with what the interpreter executes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..presburger import (
     BasicMap,

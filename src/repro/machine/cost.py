@@ -19,20 +19,14 @@ cost independent of problem size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..codegen.promotion import promoted_buffers, representative_tile_origin
-from ..core import (
-    OptimizeResult,
-    TILE_TUPLE,
-    TilingScheduleEntry,
-    tile_footprint,
-)
+from ..core import OptimizeResult, TILE_TUPLE, tile_footprint
 from ..ir import Program
-from ..presburger import Map
 from ..scheduler import FusionGroup, Scheduled
 
 ITEMSIZE = 8  # float64 everywhere

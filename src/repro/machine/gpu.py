@@ -16,7 +16,6 @@ measures:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from .cost import ClusterWork, ProgramWork
 

@@ -19,7 +19,7 @@ on conv+bn pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .cost import ClusterWork, ProgramWork
+from .cost import ProgramWork
 from .cpu import CPUSpec, DEFAULT_CPU
 
 

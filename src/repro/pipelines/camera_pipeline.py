@@ -98,7 +98,10 @@ def halide_partition(prog: Program) -> List[List[str]]:
     """Manual schedule: demosaic bank fused, colour/tone fused, sharpening
     fused — three coarse groups (conservative vs. the paper's pass)."""
     s = prog.stages  # type: ignore[attr-defined]
-    flat = lambda groups: [name for g in groups for name in g]
+
+    def flat(groups):
+        return [name for g in groups for name in g]
+
     return [
         flat(s[0:9]),      # denoise + demosaic bank
         flat(s[9:12]),     # assembly

@@ -14,10 +14,9 @@ sizes, which keeps every pyramid level's extent (H/2, H/4, ...) affine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..ir import Expr, Load, Program, ProgramBuilder, Tensor, as_expr
-from ..presburger import LinExpr
+from ..ir import Expr, Program, ProgramBuilder, Tensor, as_expr
 
 
 @dataclass

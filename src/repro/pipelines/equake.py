@@ -20,7 +20,7 @@ the SpMV component).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Optional
 
 from ..ir import Program, ProgramBuilder
 

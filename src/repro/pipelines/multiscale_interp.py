@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from ..ir import Program
-from .common import ImagePipeline, crop_to
+from .common import ImagePipeline
 
 LEVELS = 8
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Optional
 
 from ..ir import Program, ProgramBuilder
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 from .basic_set import BasicSet
 from .constraint import Constraint
@@ -27,6 +27,13 @@ class BasicMap:
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("BasicMap is immutable")
+
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
 
     # -- constructors ------------------------------------------------------
 

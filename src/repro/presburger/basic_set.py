@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-from .constraint import EQ, GE, Constraint
+from .constraint import GE, Constraint
 from .fm import (
     FeasibilityUndecided,
     bounds_for_symbol,
-    constraint_symbols,
     eliminate_symbols,
     find_integer_point,
     prune_redundant,
@@ -42,6 +41,13 @@ class BasicSet:
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("BasicSet is immutable")
+
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
 
     # -- constructors ------------------------------------------------------
 

@@ -9,7 +9,6 @@ the constant), which is exact for one constraint at a time.
 
 from __future__ import annotations
 
-from math import gcd
 from typing import Mapping, Union
 
 from .linexpr import LinExpr
@@ -32,6 +31,13 @@ class Constraint:
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Constraint is immutable")
+
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
 
     # -- constructors ------------------------------------------------------
 

@@ -13,11 +13,12 @@ backtracking search.
 
 from __future__ import annotations
 
-from math import ceil, floor, gcd
+from math import ceil, floor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .constraint import EQ, GE, Constraint
 from .linexpr import LinExpr
+from ..service import instrument
 
 
 class FeasibilityUndecided(Exception):
@@ -106,6 +107,7 @@ def _eliminate_via_equality(
 def eliminate_symbols(
     constraints: Sequence[Constraint], syms: Sequence[str]
 ) -> List[Constraint]:
+    instrument.count("presburger.fm_eliminate", len(syms))
     cur = list(constraints)
     for sym in syms:
         cur = eliminate_symbol(cur, sym)
@@ -180,6 +182,7 @@ def find_integer_point(
     Raises :class:`FeasibilityUndecided` if the search budget is exhausted
     (unbounded or enormous systems).
     """
+    instrument.count("presburger.integer_sample")
     cur = _dedupe(constraints)
     for c in cur:
         if c.is_trivially_false():

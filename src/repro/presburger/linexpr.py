@@ -40,6 +40,13 @@ class LinExpr:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("LinExpr is immutable")
 
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
+
     # -- constructors ------------------------------------------------------
 
     @staticmethod

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 from .basic_map import BasicMap
 from .basic_set import BasicSet
@@ -31,6 +31,13 @@ class Map:
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Map is immutable")
+
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
 
     # -- constructors ------------------------------------------------------
 

@@ -21,7 +21,7 @@ Supported syntax:
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from .basic_map import BasicMap
 from .basic_set import BasicSet

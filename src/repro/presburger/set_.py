@@ -27,6 +27,13 @@ class Set:
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Set is immutable")
 
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
+
     # -- constructors ------------------------------------------------------
 
     @staticmethod

@@ -36,6 +36,13 @@ class UnionSet:
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("UnionSet is immutable")
 
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
+
     @staticmethod
     def empty() -> "UnionSet":
         return UnionSet({})
@@ -155,6 +162,13 @@ class UnionMap:
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("UnionMap is immutable")
+
+    def __getstate__(self):
+        return tuple(getattr(self, slot) for slot in self.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(self.__slots__, state):
+            object.__setattr__(self, slot, value)
 
     @staticmethod
     def empty() -> "UnionMap":

@@ -2,18 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from ..ir import Program
 from ..presburger import LinExpr
-from .tree import (
-    BandNode,
-    DomainNode,
-    FilterNode,
-    LeafNode,
-    Node,
-    SequenceNode,
-)
+from .tree import BandNode, DomainNode, FilterNode, LeafNode, SequenceNode
 
 
 def initial_tree(program: Program) -> DomainNode:

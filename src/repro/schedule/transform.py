@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..presburger import LinExpr, UnionMap
+from ..presburger import UnionMap
 from .tree import (
     BandNode,
     DomainNode,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from ..presburger import LinExpr, Map, UnionMap, UnionSet
+from ..presburger import LinExpr, UnionMap, UnionSet
 
 
 class Node:

@@ -42,14 +42,26 @@ def autotune_tile_sizes(
     candidates: Sequence[int] = CANDIDATE_SIZES,
     dims: int = 2,
     max_extent: Optional[int] = None,
+    mode: str = "serial",
+    jobs: Optional[int] = None,
+    cache=None,
 ) -> TuneResult:
     """Exhaustive search over live-out tile sizes against the cost model.
 
     ``max_extent`` skips candidates larger than the iteration space (the
     tuner derives it from the first live-out tensor when omitted).
+
+    Candidates are evaluated through the batch-compile driver
+    (:func:`repro.service.compile_batch`): ``mode`` picks the dispatch
+    strategy (``"serial"`` by default, ``"auto"``/``"process"``/
+    ``"thread"`` fan out over ``jobs`` workers) and an optional ``cache``
+    (a :class:`repro.service.CompileCache`) reuses compile results across
+    candidates, runs and processes.  The cost model is deterministic, so
+    every mode returns bit-identical ``best_sizes``/``best_time``.
     """
-    from ..core import optimize
     from ..machine import analyze_optimized, cpu_time, gpu_time
+    from ..service import instrument
+    from ..service.driver import CompileRequest, compile_batch
 
     if max_extent is None:
         first = program.tensors[program.liveout[0]]
@@ -60,18 +72,27 @@ def autotune_tile_sizes(
     combos = _combinations(
         [c for c in candidates if c <= max_extent], dims
     )
-    for sizes in combos:
-        try:
-            opt = optimize(program, target=target, tile_sizes=sizes)
-            work = analyze_optimized(opt)
-            t = gpu_time(work) if target == "gpu" else cpu_time(work, threads)
-        except Exception as exc:  # infeasible tiling (tiny domains etc.)
-            result.failures[sizes] = f"{type(exc).__name__}: {exc}"
-            continue
-        result.evaluations[sizes] = t
-        if t < result.best_time:
-            result.best_time = t
-            result.best_sizes = sizes
+    with instrument.span("autotune"):
+        requests = [
+            CompileRequest(program, target=target, tile_sizes=sizes)
+            for sizes in combos
+        ]
+        outcomes = compile_batch(requests, mode=mode, max_workers=jobs, cache=cache)
+        for sizes, outcome in zip(combos, outcomes):
+            if outcome.error is not None:
+                # Infeasible tiling (tiny domains etc.).
+                result.failures[sizes] = outcome.error
+                continue
+            try:
+                work = analyze_optimized(outcome.result)
+                t = gpu_time(work) if target == "gpu" else cpu_time(work, threads)
+            except Exception as exc:
+                result.failures[sizes] = f"{type(exc).__name__}: {exc}"
+                continue
+            result.evaluations[sizes] = t
+            if t < result.best_time:
+                result.best_time = t
+                result.best_sizes = sizes
     result.tuning_seconds = time.perf_counter() - t0
     if not result.evaluations:
         raise RuntimeError(

@@ -20,7 +20,7 @@ heuristic and re-fuses after tiling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..deps import Dependence, memory_deps

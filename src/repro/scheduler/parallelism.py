@@ -9,10 +9,9 @@ dependence relations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..deps import Dependence, dep_distance_bounds
-from ..ir import Program
 from ..presburger import LinExpr
 
 

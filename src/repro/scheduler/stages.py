@@ -8,8 +8,8 @@ paper's Algorithms 1–3 then tile and re-fuse them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir import Program
 from ..presburger import LinExpr

@@ -14,9 +14,9 @@ original iteration space.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..schedule import BandNode, DomainNode, FilterNode, LeafNode, Node
+from ..schedule import BandNode, DomainNode, FilterNode
 from .fusion import Scheduled
 from .stages import FusionGroup
 

@@ -1,0 +1,63 @@
+"""``repro.service`` — the compilation service layer.
+
+Turns the one-shot ``repro.core.optimize`` pass into a reusable service:
+
+* :mod:`fingerprint` — content-addressed SHA-256 keys for compile requests;
+* :mod:`cache` — a two-tier (LRU memory + on-disk) result cache;
+* :mod:`driver` — deduplicating, parallel batch-compile driver;
+* :mod:`instrument` — pass-level spans/counters and per-compile reports.
+
+Only :mod:`instrument` is imported eagerly — it is dependency-free, so
+the lowest layers (``repro.presburger``) can bump counters without an
+import cycle.  Everything else loads lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from . import instrument
+
+__all__ = [
+    "CacheStats",
+    "CompileCache",
+    "CompileOutcome",
+    "CompileRequest",
+    "cached_optimize",
+    "compile_batch",
+    "default_cache",
+    "default_cache_dir",
+    "fingerprint_program",
+    "fingerprint_request",
+    "instrument",
+    "reset_default_cache",
+]
+
+_LAZY = {
+    "CacheStats": ("cache", "CacheStats"),
+    "CompileCache": ("cache", "CompileCache"),
+    "default_cache": ("cache", "default_cache"),
+    "default_cache_dir": ("cache", "default_cache_dir"),
+    "reset_default_cache": ("cache", "reset_default_cache"),
+    "CompileOutcome": ("driver", "CompileOutcome"),
+    "CompileRequest": ("driver", "CompileRequest"),
+    "cached_optimize": ("driver", "cached_optimize"),
+    "compile_batch": ("driver", "compile_batch"),
+    "fingerprint_program": ("fingerprint", "fingerprint_program"),
+    "fingerprint_request": ("fingerprint", "fingerprint_request"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

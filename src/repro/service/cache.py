@@ -1,0 +1,258 @@
+"""Two-tier compile-result cache: in-process LRU over an on-disk store.
+
+Keys are the content-addressed fingerprints of
+:mod:`repro.service.fingerprint`; values are pickled
+:class:`~repro.core.pipeline.OptimizeResult` objects.  The memory tier
+holds pickled bytes (bounded by entry count and total size) so cached
+results are never shared mutably between callers — every hit unpickles a
+fresh copy.  The disk tier lives under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``) and survives processes; entries are written
+atomically and carry a schema version, so a corrupted or stale file is
+silently evicted on load instead of crashing the compile.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .fingerprint import SCHEMA_VERSION
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+_MAGIC = "repro-cache"
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one :class:`CompileCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    memory_evictions: int = 0
+    disk_evictions: int = 0
+    errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "memory_evictions": self.memory_evictions,
+            "disk_evictions": self.disk_evictions,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class CompileCache:
+    """Content-addressed result cache with an LRU memory tier."""
+
+    cache_dir: Optional[str] = None
+    max_entries: int = 128
+    max_bytes: int = 256 * 1024 * 1024
+    persistent: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        if self.cache_dir is None:
+            self.cache_dir = default_cache_dir()
+        self._mem: "OrderedDict[str, bytes]" = OrderedDict()
+        self._mem_bytes = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, key: str):
+        """Return a fresh copy of the cached value, or ``None`` on miss."""
+        blob = self._mem.get(key)
+        if blob is not None:
+            self._mem.move_to_end(key)
+            try:
+                value = pickle.loads(blob)
+            except Exception:
+                self._evict_memory(key)
+                self.stats.errors += 1
+            else:
+                self.stats.memory_hits += 1
+                return value
+        if self.persistent:
+            blob = self._load_disk(key)
+            if blob is not None:
+                try:
+                    value = pickle.loads(blob)
+                except Exception:
+                    self._evict_disk(key)
+                    self.stats.errors += 1
+                else:
+                    self.stats.disk_hits += 1
+                    self._insert_memory(key, blob)
+                    return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        try:
+            blob = pickle.dumps(value)
+        except Exception:
+            self.stats.errors += 1
+            return
+        self.stats.stores += 1
+        self._insert_memory(key, blob)
+        if self.persistent:
+            self._store_disk(key, blob)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._mem or (
+            self.persistent and os.path.exists(self._path(key))
+        )
+
+    # -- memory tier -------------------------------------------------------
+
+    def _insert_memory(self, key: str, blob: bytes) -> None:
+        if key in self._mem:
+            self._mem_bytes -= len(self._mem.pop(key))
+        self._mem[key] = blob
+        self._mem_bytes += len(blob)
+        while self._mem and (
+            len(self._mem) > self.max_entries or self._mem_bytes > self.max_bytes
+        ):
+            old_key, old_blob = self._mem.popitem(last=False)
+            self._mem_bytes -= len(old_blob)
+            self.stats.memory_evictions += 1
+
+    def _evict_memory(self, key: str) -> None:
+        blob = self._mem.pop(key, None)
+        if blob is not None:
+            self._mem_bytes -= len(blob)
+            self.stats.memory_evictions += 1
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], f"{key}.pkl")
+
+    def _load_disk(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                entry = pickle.load(f)
+            magic, schema, stored_key, blob = entry
+            if magic != _MAGIC or schema != SCHEMA_VERSION or stored_key != key:
+                raise ValueError("stale or foreign cache entry")
+            if not isinstance(blob, bytes):
+                raise ValueError("malformed cache payload")
+            return blob
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupted, truncated or stale entry: evict, never crash.
+            self.stats.errors += 1
+            self._evict_disk(key)
+            return None
+
+    def _store_disk(self, key: str, blob: bytes) -> None:
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump((_MAGIC, SCHEMA_VERSION, key, blob), f)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # A read-only or full cache dir degrades to memory-only.
+            self.stats.errors += 1
+
+    def _evict_disk(self, key: str) -> None:
+        try:
+            os.unlink(self._path(key))
+            self.stats.disk_evictions += 1
+        except OSError:
+            pass
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop both tiers; returns the number of disk entries removed."""
+        self._mem.clear()
+        self._mem_bytes = 0
+        removed = 0
+        for path, _ in self._disk_entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _disk_entries(self):
+        if not self.persistent or not os.path.isdir(self.cache_dir):
+            return
+        for sub in sorted(os.listdir(self.cache_dir)):
+            subdir = os.path.join(self.cache_dir, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    size = os.path.getsize(path)
+                except OSError:
+                    continue
+                yield path, size
+
+    def info(self) -> Dict[str, object]:
+        entries = list(self._disk_entries())
+        return {
+            "cache_dir": self.cache_dir,
+            "schema_version": SCHEMA_VERSION,
+            "disk_entries": len(entries),
+            "disk_bytes": sum(size for _, size in entries),
+            "memory_entries": len(self._mem),
+            "memory_bytes": self._mem_bytes,
+            "stats": self.stats.as_dict(),
+        }
+
+
+_default: Optional[Tuple[str, CompileCache]] = None
+
+
+def default_cache() -> CompileCache:
+    """The process-wide cache, rebuilt if ``$REPRO_CACHE_DIR`` changes."""
+    global _default
+    cache_dir = default_cache_dir()
+    if _default is None or _default[0] != cache_dir:
+        _default = (cache_dir, CompileCache(cache_dir=cache_dir))
+    return _default[1]
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache instance (tests, env changes)."""
+    global _default
+    _default = None

@@ -1,0 +1,216 @@
+"""Batch-compile driver: dedupe, cache, fan out, never kill the batch.
+
+``compile_batch`` takes N :class:`CompileRequest`\\ s and returns N
+:class:`CompileOutcome`\\ s in the same order.  Identical requests (same
+content fingerprint) are compiled once; cached fingerprints are served
+without compiling at all; the rest fan out over ``concurrent.futures``
+(process pool by default, with thread and serial fallbacks).  A request
+that fails records its error string in its outcome — one infeasible
+tiling never aborts the other N-1.
+
+``cached_optimize`` is the single-request convenience wrapper the CLI
+uses: a memoized drop-in for :func:`repro.core.optimize`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir import Program
+from . import instrument
+from .cache import CompileCache
+from .fingerprint import fingerprint_request
+
+#: Dispatch strategies for :func:`compile_batch`.
+MODES = ("auto", "process", "thread", "serial")
+
+
+@dataclass
+class CompileRequest:
+    """One ``optimize()`` invocation, by value."""
+
+    program: Program
+    target: Union[str, object] = "cpu"
+    tile_sizes: Optional[Tuple[int, ...]] = None
+    startup: str = "smartfuse"
+    tag: Optional[str] = None
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.tile_sizes is not None:
+            self.tile_sizes = tuple(self.tile_sizes)
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_request(
+                self.program, self.target, self.tile_sizes, self.startup
+            )
+        return self._fingerprint
+
+
+@dataclass
+class CompileOutcome:
+    """What happened to one request: a result, a cache hit, or an error."""
+
+    request: CompileRequest
+    fingerprint: str
+    result: Optional[object] = None
+    error: Optional[str] = None
+    from_cache: bool = False
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_request(request: CompileRequest) -> Tuple[Optional[object], Optional[str]]:
+    """Compile one request in-process; error strings match the serial
+    autotuner's ``f"{type}: {exc}"`` format exactly."""
+    from ..core import optimize
+
+    try:
+        result = optimize(
+            request.program,
+            target=request.target,
+            tile_sizes=request.tile_sizes,
+            startup=request.startup,
+        )
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+    return result, None
+
+
+def _worker(payload: bytes) -> bytes:
+    """Process-pool entry point: pickled request in, pickled outcome out."""
+    request = pickle.loads(payload)
+    result, error = _run_request(request)
+    return pickle.dumps((result, error))
+
+
+def _default_workers(n_tasks: int) -> int:
+    return max(1, min(n_tasks, os.cpu_count() or 1))
+
+
+def _dispatch(
+    requests: List[CompileRequest], mode: str, max_workers: Optional[int]
+) -> List[Tuple[Optional[object], Optional[str]]]:
+    """Compile ``requests`` (already deduplicated), preserving order."""
+    if mode not in MODES:
+        raise ValueError(f"unknown dispatch mode {mode!r}; expected one of {MODES}")
+    if mode == "serial" or len(requests) <= 1:
+        return [_run_request(r) for r in requests]
+
+    workers = max_workers or _default_workers(len(requests))
+    if mode in ("auto", "process"):
+        try:
+            payloads = [pickle.dumps(r) for r in requests]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                raw = list(pool.map(_worker, payloads))
+            return [pickle.loads(b) for b in raw]
+        except Exception:
+            if mode == "process":
+                raise
+            # auto: an unpicklable program or a sandboxed interpreter
+            # (no fork/semaphores) degrades to threads below.
+    try:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_request, requests))
+    except Exception:
+        if mode == "thread":
+            raise
+        return [_run_request(r) for r in requests]
+
+
+def compile_batch(
+    requests: Sequence[CompileRequest],
+    mode: str = "auto",
+    max_workers: Optional[int] = None,
+    cache: Optional[CompileCache] = None,
+) -> List[CompileOutcome]:
+    """Compile many requests; one outcome per request, same order.
+
+    Identical fingerprints are compiled once and the result fanned back
+    out.  With a ``cache``, warm fingerprints skip compilation entirely
+    and fresh results are stored for the next batch (or process).
+    """
+    with instrument.span("compile_batch"):
+        outcomes: List[CompileOutcome] = [
+            CompileOutcome(request=r, fingerprint=r.fingerprint) for r in requests
+        ]
+
+        # Dedupe: first request per fingerprint is the representative.
+        unique: Dict[str, int] = {}
+        for i, out in enumerate(outcomes):
+            unique.setdefault(out.fingerprint, i)
+        instrument.count("driver.requests", len(outcomes))
+        instrument.count("driver.unique_requests", len(unique))
+
+        # Warm fingerprints are served from the cache.
+        cached: Dict[str, object] = {}
+        if cache is not None:
+            for fp in unique:
+                hit = cache.get(fp)
+                if hit is not None:
+                    cached[fp] = hit
+        to_compile = [
+            outcomes[i].request for fp, i in unique.items() if fp not in cached
+        ]
+
+        t0 = time.perf_counter()
+        compiled = dict(
+            zip(
+                (r.fingerprint for r in to_compile),
+                _dispatch(to_compile, mode, max_workers),
+            )
+        )
+        elapsed = time.perf_counter() - t0
+
+        for fp, (result, error) in compiled.items():
+            if cache is not None and error is None:
+                cache.put(fp, result)
+
+        for out in outcomes:
+            if out.fingerprint in cached:
+                out.result = cached[out.fingerprint]
+                out.from_cache = True
+            else:
+                result, error = compiled[out.fingerprint]
+                out.result, out.error = result, error
+                out.seconds = elapsed / max(len(to_compile), 1)
+        if cache is not None:
+            instrument.count("driver.cache_hits", len(cached))
+    return outcomes
+
+
+def cached_optimize(
+    program: Program,
+    target: Union[str, object] = "cpu",
+    tile_sizes: Optional[Sequence[int]] = None,
+    startup: str = "smartfuse",
+    cache: Optional[CompileCache] = None,
+):
+    """Memoized :func:`repro.core.optimize`.
+
+    Uses the process-wide default cache when none is given; raises
+    exactly what ``optimize`` would raise on failure.
+    """
+    from ..core import optimize
+    from .cache import default_cache
+
+    if cache is None:
+        cache = default_cache()
+    key = fingerprint_request(program, target, tile_sizes, startup)
+    result = cache.get(key)
+    if result is None:
+        result = optimize(
+            program, target=target, tile_sizes=tile_sizes, startup=startup
+        )
+        cache.put(key, result)
+    return result

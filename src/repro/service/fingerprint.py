@@ -1,0 +1,137 @@
+"""Content-addressed fingerprints for compile requests.
+
+A fingerprint is a SHA-256 digest over a *canonical* serialization of
+``(Program, target, tile_sizes, startup heuristic)``.  Canonical means
+structural: two programs built independently — different builder objects,
+different process, different machine — hash identically as long as their
+statements, domains, accesses, tensors, parameters and live-outs agree.
+That is what makes the compile cache content-addressed rather than
+identity-addressed.
+
+The digest is salted with :data:`SCHEMA_VERSION`; bump it whenever the
+optimizer's observable behaviour changes so stale cache entries can never
+be served against new code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..ir import Program, Statement
+from ..ir.tensor import Tensor
+from ..presburger import Set
+
+#: Bump on any change to the optimizer or to this serialization format.
+SCHEMA_VERSION = 1
+
+_SALT = f"repro-compile-v{SCHEMA_VERSION}"
+
+
+def canonical_set(s: Set) -> Dict[str, object]:
+    """Order-independent structural form of an integer set."""
+    pieces: List[List[str]] = []
+    for piece in s.pieces:
+        pieces.append(sorted(str(c) for c in piece.constraints))
+    pieces.sort()
+    return {
+        "name": s.space.name,
+        "dims": list(s.space.dims),
+        "params": sorted(s.space.params),
+        "pieces": pieces,
+    }
+
+
+def canonical_statement(stmt: Statement) -> Dict[str, object]:
+    return {
+        "name": stmt.name,
+        "kind": stmt.kind,
+        "reduce_op": stmt.reduce_op if stmt.kind == "reduce" else None,
+        "domain": canonical_set(stmt.domain),
+        "lhs": str(stmt.lhs),
+        "rhs": str(stmt.rhs),
+    }
+
+
+def canonical_tensor(t: Tensor) -> Dict[str, object]:
+    return {
+        "name": t.name,
+        "shape": [str(s) for s in t.shape],
+        "dtype": np.dtype(t.dtype).str,
+    }
+
+
+def canonical_program(program: Program) -> Dict[str, object]:
+    """The structural identity of a program (statement order matters —
+    textual order is the initial schedule)."""
+    return {
+        "name": program.name,
+        "statements": [canonical_statement(s) for s in program.statements],
+        "tensors": [
+            canonical_tensor(program.tensors[k]) for k in sorted(program.tensors)
+        ],
+        "params": {k: program.params[k] for k in sorted(program.params)},
+        "liveout": list(program.liveout),
+    }
+
+
+def canonical_target(target: Union[str, object]) -> Dict[str, object]:
+    """Serialize a target spec by value, resolving name aliases first.
+
+    An unknown target name still fingerprints (it will fail in
+    ``optimize`` itself) so one bad request cannot kill a whole batch.
+    """
+    from ..core.tile_shapes import TARGETS, TargetSpec
+
+    if isinstance(target, str):
+        if target not in TARGETS:
+            return {"name": target, "unresolved": True}
+        spec: TargetSpec = TARGETS[target]
+    else:
+        spec = target
+    return {
+        "name": spec.name,
+        "m_cap": spec.m_cap,
+        "min_m": spec.min_m,
+        "max_recompute": spec.max_recompute,
+        "max_recompute_ratio": spec.max_recompute_ratio,
+        "scratch_bytes": spec.scratch_bytes,
+    }
+
+
+def canonical_request(
+    program: Program,
+    target: Union[str, object] = "cpu",
+    tile_sizes: Optional[Sequence[int]] = None,
+    startup: str = "smartfuse",
+) -> Dict[str, object]:
+    return {
+        "salt": _SALT,
+        "program": canonical_program(program),
+        "target": canonical_target(target),
+        "tile_sizes": list(tile_sizes) if tile_sizes is not None else None,
+        "startup": startup,
+    }
+
+
+def _digest(obj: object) -> str:
+    text = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fingerprint_program(program: Program) -> str:
+    """Digest of the program structure alone (no target, no tile sizes)."""
+    return _digest({"salt": _SALT, "program": canonical_program(program)})
+
+
+def fingerprint_request(
+    program: Program,
+    target: Union[str, object] = "cpu",
+    tile_sizes: Optional[Sequence[int]] = None,
+    startup: str = "smartfuse",
+) -> str:
+    """The cache key of one ``optimize()`` invocation."""
+    return _digest(canonical_request(program, target, tile_sizes, startup))

@@ -11,12 +11,7 @@ import numpy as np
 import pytest
 
 from repro.codegen import execute_naive, make_store
-from repro.codegen.cbackend import (
-    CBackendError,
-    compile_and_run,
-    compiler_available,
-    generate_c,
-)
+from repro.codegen.cbackend import compile_and_run, compiler_available, generate_c
 from repro.core import optimize
 from repro.pipelines import conv2d, polybench, unsharp_mask
 from repro.schedule import initial_tree

@@ -14,7 +14,6 @@ from repro.core import (
     GPU,
     TILE_TUPLE,
     TilingScheduleEntry,
-    composite_tiling_fusion,
     construct_tile_shapes,
     exposed_tensors,
     footprint_size,
@@ -26,13 +25,7 @@ from repro.core import (
 )
 from repro.pipelines import conv2d
 from repro.scheduler import SMARTFUSE, schedule_program
-from repro.schedule import (
-    BandNode,
-    ExtensionNode,
-    MarkNode,
-    is_skipped,
-    top_level_filters,
-)
+from repro.schedule import BandNode, ExtensionNode, is_skipped, top_level_filters
 
 PARAMS = {"H": 6, "W": 6, "KH": 3, "KW": 3}
 

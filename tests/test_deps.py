@@ -1,8 +1,6 @@
 """Tests for dependence analysis on the paper's running example."""
 
 from repro.deps import (
-    Dependence,
-    FLOW,
     dep_distance_bounds,
     flow_deps,
     memory_deps,
@@ -10,7 +8,6 @@ from repro.deps import (
     statement_row_map,
 )
 from repro.pipelines import conv2d
-from repro.presburger import LinExpr
 
 
 def dep_between(deps, src, dst, tensor=None):

@@ -1,10 +1,8 @@
 """White-box tests of the Fourier–Motzkin and feasibility machinery."""
 
-import pytest
 
-from repro.presburger import Constraint, LinExpr, V
+from repro.presburger import Constraint, V
 from repro.presburger.fm import (
-    FeasibilityUndecided,
     bounds_for_symbol,
     constraint_symbols,
     eliminate_symbol,

@@ -10,12 +10,15 @@ just the named benchmarks.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.codegen import execute_naive, make_store, run_program
 from repro.core import optimize
 from repro.core.validate import validate_tree
 from repro.pipelines.common import ImagePipeline
+
+pytestmark = pytest.mark.slow
 
 SIZE = 18  # small enough to execute, large enough for 2-3 tiles per dim
 

@@ -9,19 +9,9 @@ from repro.codegen.interp import (
     execute_naive,
     execute_tree,
     make_store,
-    run_program,
 )
 from repro.ir import ProgramBuilder
-from repro.schedule import (
-    DomainNode,
-    FilterNode,
-    LeafNode,
-    MarkNode,
-    SequenceNode,
-    initial_tree,
-    mark_skipped,
-    top_level_filters,
-)
+from repro.schedule import MarkNode, initial_tree, mark_skipped, top_level_filters
 
 
 def tiny_program(n=6):

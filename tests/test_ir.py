@@ -3,17 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ir import (
-    Const,
-    Load,
-    ProgramBuilder,
-    Tensor,
-    TensorStore,
-    as_expr,
-    quant,
-    relu,
-    vmax,
-)
+from repro.ir import Const, ProgramBuilder, Tensor, TensorStore, as_expr, relu, vmax
 from repro.pipelines import conv2d
 from repro.presburger import LinExpr, parse_set
 

@@ -2,6 +2,7 @@
 
 import itertools
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.presburger import (
@@ -11,6 +12,8 @@ from repro.presburger import (
     Map,
     MapSpace,
 )
+
+pytestmark = pytest.mark.slow
 
 LO, HI = -3, 4
 IN_DIMS = ("x",)

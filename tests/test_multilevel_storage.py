@@ -7,7 +7,7 @@ from repro.codegen import execute_naive, make_store, run_program
 from repro.codegen.promotion import storage_reduction
 from repro.core import optimize
 from repro.pipelines import conv2d, unsharp_mask
-from repro.schedule import BandNode, collect_bands
+from repro.schedule import BandNode
 from repro.scheduler import (
     SMARTFUSE,
     schedule_program,

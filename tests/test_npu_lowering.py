@@ -11,10 +11,10 @@ from repro.codegen.cce import (
     UB,
     lower_to_cce,
 )
-from repro.codegen.gpu_mapping import KernelInfo, map_to_gpu
+from repro.codegen.gpu_mapping import map_to_gpu
 from repro.core import TILE_TUPLE, optimize, tile_footprint, liveout_groups
 from repro.machine.npu import NPUSpec
-from repro.pipelines import conv2d, resnet, unsharp_mask
+from repro.pipelines import conv2d, resnet
 from repro.scheduler import SMARTFUSE, schedule_program
 
 PARAMS = {"H": 16, "W": 16, "KH": 3, "KW": 3}

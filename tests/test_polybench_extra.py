@@ -1,7 +1,6 @@
 """Tests for the additional PolyBench kernels (beyond Table II's three)."""
 
 import numpy as np
-import pytest
 
 from repro.codegen import execute_naive, make_store, run_program
 from repro.core import optimize

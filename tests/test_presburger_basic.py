@@ -3,11 +3,9 @@
 import pytest
 
 from repro.presburger import (
-    BasicMap,
     BasicSet,
     Constraint,
     LinExpr,
-    Set,
     SetSpace,
     MapSpace,
     V,

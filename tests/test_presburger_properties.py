@@ -7,9 +7,12 @@ algebra laws point-wise against brute-force membership over the universe.
 
 import itertools
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.presburger import BasicSet, Constraint, LinExpr, Set, SetSpace
+
+pytestmark = pytest.mark.slow
 
 DIMS = ("x", "y")
 UNIVERSE_LO, UNIVERSE_HI = -4, 5

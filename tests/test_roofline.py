@@ -1,6 +1,5 @@
 """Tests for the roofline view of the machine models."""
 
-import pytest
 
 from repro.core import optimize
 from repro.machine import (

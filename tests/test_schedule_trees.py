@@ -12,7 +12,6 @@ from repro.schedule import (
     LeafNode,
     MarkNode,
     SequenceNode,
-    SKIPPED,
     band_from_dims,
     collect_bands,
     filter_of_statement,

@@ -13,7 +13,7 @@ from repro.scheduler import (
     tile_band,
     tile_group,
 )
-from repro.schedule import BandNode, collect_bands, top_level_filters
+from repro.schedule import BandNode, top_level_filters
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,189 @@
+"""Microbenchmark of the presburger fast-path engine (PR: interned
+linear algebra + operation memoization).
+
+Times the hot ``BasicMap``/``BasicSet`` operations of the footprint
+computation — ``apply_range``, ``intersect``, ``project_out`` and
+``is_empty`` — on stencil-shaped relations (tile-containment maps composed
+with halo accesses, the exact shape relations (2)-(4) of the paper
+produce), in two modes:
+
+* **cold** — every memo table and the LinExpr intern table are cleared
+  before each repetition, so every operation runs the full algorithm;
+* **memoized** — tables are cleared once, then repetitions replay the
+  identical operations and hit the memo layer.
+
+Saves raw numbers to ``benchmarks/results/presburger_ops.json`` and exits
+non-zero if the memoized mode is not faster than the cold mode (the CI
+smoke job runs ``--quick``).
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from common import print_table, save_results
+from repro.presburger import BasicMap, Constraint, LinExpr, MapSpace, memo
+
+V = LinExpr.var
+
+
+def build_tile_map(h, w, tile):
+    """{ T[t0, t1] -> S[i, j] : tile containment and domain bounds }."""
+    space = MapSpace("T", ("t0", "t1"), "S", ("i", "j"), ())
+    cons = []
+    for t, d, n in (("t0", "i", h), ("t1", "j", w)):
+        cons.append(Constraint.le(V(t), V(d)))
+        cons.append(Constraint.lt(V(d), V(t) + tile))
+        cons.append(Constraint.ge(V(d)))
+        cons.append(Constraint.lt(V(d), n))
+    return BasicMap(space, cons)
+
+
+def build_stencil_access(h, w, di, dj):
+    """{ S[i, j] -> A[i + di, j + dj] : in-bounds }."""
+    dom_cons = []
+    for d, n in (("i", h), ("j", w)):
+        dom_cons.append(Constraint.ge(V(d)))
+        dom_cons.append(Constraint.lt(V(d), n))
+    space = MapSpace("S", ("i", "j"), "A", ("a0", "a1"), ())
+    cons = dom_cons + [
+        Constraint.eq(V("a0") - V("i") - di),
+        Constraint.eq(V("a1") - V("j") - dj),
+    ]
+    return BasicMap(space, cons)
+
+
+def build_workload(size):
+    """Stencil-shaped (tile map, access map) pairs as the footprint loop
+    sees them: one tile relation composed with every halo tap."""
+    tile_maps = [build_tile_map(size, size, t) for t in (16, 32, 64)]
+    taps = [(di, dj) for di in (-1, 0, 1, 2) for dj in (-1, 0, 1, 2)]
+    accesses = [build_stencil_access(size, size, di, dj) for di, dj in taps]
+    return [(tm, am) for tm in tile_maps for am in accesses]
+
+
+def run_once(pairs):
+    """One repetition of the footprint-shaped operation mix."""
+    t_apply = t_empty = t_intersect = t_project = 0.0
+    footprints = []
+    t0 = time.perf_counter()
+    for tm, am in pairs:
+        footprints.append(tm.apply_range(am))
+    t_apply = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for fp in footprints:
+        fp.is_empty()
+    t_empty = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for a, b in zip(footprints, footprints[1:]):
+        a.intersect(b)
+    t_intersect = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for fp in footprints[:: max(1, len(footprints) // 8)]:
+        fp.wrap().project_out(fp.space.in_dims)
+    t_project = time.perf_counter() - t0
+    return {
+        "apply_range": t_apply,
+        "is_empty": t_empty,
+        "intersect": t_intersect,
+        "project_out": t_project,
+    }
+
+
+def accumulate(total, part):
+    for k, v in part.items():
+        total[k] = total.get(k, 0.0) + v
+    return total
+
+
+def run_bench(reps, size):
+    pairs = build_workload(size)
+
+    cold = {}
+    for _ in range(reps):
+        memo.clear_all()
+        accumulate(cold, run_once(pairs))
+
+    memo.clear_all()
+    run_once(pairs)  # populate the tables once
+    warm = {}
+    for _ in range(reps):
+        accumulate(warm, run_once(pairs))
+
+    ops = sorted(cold)
+    rows = []
+    for op in ops:
+        speedup = cold[op] / warm[op] if warm[op] > 0 else float("inf")
+        rows.append(
+            [op, f"{cold[op]:.4f}", f"{warm[op]:.4f}", f"{speedup:.1f}x"]
+        )
+    raw = {
+        "reps": reps,
+        "size": size,
+        "pairs": len(pairs),
+        "cold_seconds": cold,
+        "memoized_seconds": warm,
+        "memo_stats": memo.stats(),
+    }
+    return rows, raw
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer repetitions on a smaller problem",
+    )
+    ap.add_argument("--reps", type=int, default=None)
+    ap.add_argument("--size", type=int, default=None)
+    args = ap.parse_args(argv)
+    reps = args.reps if args.reps is not None else (3 if args.quick else 10)
+    size = args.size if args.size is not None else (256 if args.quick else 1024)
+
+    rows, raw = run_bench(reps, size)
+    print_table(
+        f"Presburger ops, cold vs memoized ({reps} reps, size {size})",
+        ["operation", "cold (s)", "memoized (s)", "speedup"],
+        rows,
+    )
+    save_results("presburger_ops", raw)
+
+    total_cold = sum(raw["cold_seconds"].values())
+    total_warm = sum(raw["memoized_seconds"].values())
+    if total_warm >= total_cold:
+        print(
+            f"FAIL: memoized total {total_warm:.4f}s is not faster than "
+            f"cold total {total_cold:.4f}s"
+        )
+        return 1
+    print(
+        f"ok: memoized total {total_warm:.4f}s vs cold {total_cold:.4f}s "
+        f"({total_cold / total_warm:.1f}x)"
+    )
+    return 0
+
+
+def test_presburger_ops(benchmark):
+    rows, raw = benchmark.pedantic(
+        lambda: run_bench(3, 256), rounds=1, iterations=1
+    )
+    print_table(
+        "Presburger ops, cold vs memoized",
+        ["operation", "cold (s)", "memoized (s)", "speedup"],
+        rows,
+    )
+    save_results("presburger_ops", raw)
+    assert sum(raw["memoized_seconds"].values()) < sum(
+        raw["cold_seconds"].values()
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,11 +16,53 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir import Program
-from ..presburger import BasicMap, Constraint, LinExpr, Map, MapSpace, UnionMap
+from ..presburger import BasicMap, Constraint, LinExpr, Map, MapSpace, UnionMap, memo
 from ..scheduler import FusionGroup
 from ..service import instrument
 
 TILE_TUPLE = "_tile"
+
+# The footprint relation is recomputed for every tile-size candidate the
+# autotuner probes and for every pass that needs it (cost model, promotion,
+# extension), usually with identical inputs.  Programs and groups are
+# mutable, so the memo keys are structural: statement domains, band rows
+# and access loads, never object identities.
+_T2I_MEMO = memo.table("tile_to_instances")
+_FOOTPRINT_MEMO = memo.table("tile_footprint")
+_WRITE_FP_MEMO = memo.table("write_footprint")
+
+
+def _group_key(program: Program, group: FusionGroup, n: int) -> tuple:
+    """Structural key of everything :func:`tile_to_instances` reads."""
+    per_stmt = []
+    for s in group.statements:
+        stmt = program.statement(s)
+        per_stmt.append(
+            (
+                s,
+                stmt.domain.space,
+                tuple(p.constraints for p in stmt.domain.pieces),
+                tuple(group.rows[s][:n]),
+            )
+        )
+    return (group.name, tuple(per_stmt))
+
+
+def _reads_key(program: Program, group: FusionGroup) -> tuple:
+    """Structural key of the access expressions the footprint depends on."""
+    per_stmt = []
+    for s in group.statements:
+        stmt = program.statement(s)
+        per_stmt.append(
+            (
+                s,
+                (stmt.lhs.tensor, tuple(stmt.lhs.indices)),
+                tuple(
+                    (l.tensor, tuple(l.indices)) for l in stmt.read_loads()
+                ),
+            )
+        )
+    return tuple(per_stmt)
 
 
 def tile_dim_names(group: FusionGroup, n: int) -> Tuple[str, ...]:
@@ -49,6 +91,10 @@ def tile_to_instances(
             f"{len(tile_sizes)} tile sizes for a depth-{group.depth} group"
         )
     tdims = tuple(tile_dims) if tile_dims is not None else tile_dim_names(group, n)
+    key = (_group_key(program, group, n), tuple(tile_sizes), tdims)
+    cached = _T2I_MEMO.get(key)
+    if cached is not memo.MISS:
+        return cached
     size_params = tuple(
         s for s in tile_sizes if isinstance(s, str)
     )
@@ -72,7 +118,7 @@ def tile_to_instances(
                 cons.append(Constraint.lt(row, t + size_expr))
             pieces.append(BasicMap(space, cons))
         maps.append(Map(space, pieces))
-    return UnionMap(maps)
+    return _T2I_MEMO.put(key, UnionMap(maps))
 
 
 def tile_footprint(
@@ -98,6 +144,17 @@ def _tile_footprint(
     tensors: Sequence[str],
     tile_dims: Optional[Sequence[str]] = None,
 ) -> UnionMap:
+    n = len(tile_sizes)
+    key = (
+        _group_key(program, group, n),
+        _reads_key(program, group),
+        tuple(tile_sizes),
+        tuple(tile_dims) if tile_dims is not None else None,
+        tuple(tensors),
+    )
+    cached = _FOOTPRINT_MEMO.get(key)
+    if cached is not memo.MISS:
+        return cached
     t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
     out: Dict[str, Map] = {}
     for s in group.statements:
@@ -120,7 +177,7 @@ def _tile_footprint(
             else:
                 out[tensor] = fp
     instrument.count("footprint.relations", len(out))
-    return UnionMap(list(out.values()))
+    return _FOOTPRINT_MEMO.put(key, UnionMap(list(out.values())))
 
 
 def footprint_size(
@@ -209,6 +266,17 @@ def write_footprint(
     tile_dims: Optional[Sequence[str]] = None,
 ) -> UnionMap:
     """Like :func:`tile_footprint` but for writes (used for store traffic)."""
+    n = len(tile_sizes)
+    key = (
+        _group_key(program, group, n),
+        _reads_key(program, group),
+        tuple(tile_sizes),
+        tuple(tile_dims) if tile_dims is not None else None,
+        tuple(tensors),
+    )
+    cached = _WRITE_FP_MEMO.get(key)
+    if cached is not memo.MISS:
+        return cached
     t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
     out: List[Map] = []
     for s in group.statements:
@@ -221,4 +289,4 @@ def write_footprint(
         fp = inst.apply_range(stmt.write_relation())
         if not fp.is_empty():
             out.append(fp)
-    return UnionMap(out)
+    return _WRITE_FP_MEMO.put(key, UnionMap(out))

@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from ..ir import Program
 from ..presburger import Map, UnionMap
 from ..scheduler import FusionGroup
+from ..service import instrument
 from .exposed import exposed_tensors
 from .footprint import (
     TILE_TUPLE,
@@ -144,6 +145,7 @@ def construct_tile_shapes(
     """
     mixed = MixedSchedules()
     _algorithm1(program, liveout, list(intermediates), tile_sizes, target, mixed)
+    instrument.count("tile_shapes.entries", len(mixed.entries))
     return mixed
 
 

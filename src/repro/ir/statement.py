@@ -18,11 +18,20 @@ from ..presburger import (
     Set,
     UnionMap,
     fresh_names,
+    memo,
 )
 from .expr import Expr, Load
 
 ASSIGN = "assign"
 REDUCE = "reduce"
+
+# Access relations are derived per call, but dependence analysis probes the
+# same statement pair many times and the autotuner replays whole passes, so
+# the derivations repeat verbatim.  Statements are mutable; the memo keys
+# are therefore structural (domain space + constraints + access exprs),
+# never the statement object itself.
+_ACCESS_MEMO = memo.table("access_map")
+_READS_MEMO = memo.table("read_relations")
 
 
 class Statement:
@@ -69,6 +78,15 @@ class Statement:
     # -- access relations ---------------------------------------------------
 
     def _access_map(self, tensor: str, indices: Sequence[LinExpr]) -> Map:
+        key = (
+            self.domain.space,
+            tuple(p.constraints for p in self.domain.pieces),
+            tensor,
+            tuple(indices),
+        )
+        cached = _ACCESS_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
         pieces = []
         out_dims: Optional[Tuple[str, ...]] = None
         for dpiece in self.domain.pieces:
@@ -88,7 +106,7 @@ class Statement:
                 [f"o{i}" for i in range(len(indices))], list(self.dims) + list(self.params)
             )
         space = MapSpace(self.name, self.dims, tensor, out_dims, self.params)
-        return Map(space, pieces)
+        return _ACCESS_MEMO.put(key, Map(space, pieces))
 
     def write_relation(self) -> Map:
         return self._access_map(self.lhs.tensor, self.lhs.indices)
@@ -100,17 +118,26 @@ class Statement:
         return loads
 
     def read_relations(self) -> UnionMap:
+        loads = self.read_loads()
+        key = (
+            self.domain.space,
+            tuple(p.constraints for p in self.domain.pieces),
+            tuple((l.tensor, tuple(l.indices)) for l in loads),
+        )
+        cached = _READS_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
         by_tensor: Dict[str, Map] = {}
-        for load in self.read_loads():
+        for load in loads:
             m = self._access_map(load.tensor, load.indices)
-            key = load.tensor
-            if key in by_tensor:
-                prev = by_tensor[key]
+            tensor = load.tensor
+            if tensor in by_tensor:
+                prev = by_tensor[tensor]
                 rename = dict(zip(m.space.out_dims, prev.space.out_dims))
-                by_tensor[key] = prev.union(m.rename_dims(rename))
+                by_tensor[tensor] = prev.union(m.rename_dims(rename))
             else:
-                by_tensor[key] = m
-        return UnionMap(list(by_tensor.values()))
+                by_tensor[tensor] = m
+        return _READS_MEMO.put(key, UnionMap(list(by_tensor.values())))
 
     def tensors_read(self) -> Tuple[str, ...]:
         return tuple(dict.fromkeys(l.tensor for l in self.read_loads()))

@@ -8,6 +8,7 @@ range) used to compute memory footprints, upwards-exposed data and
 extension schedules.
 """
 
+from . import memo
 from .basic_map import BasicMap
 from .basic_set import BasicSet
 from .constraint import EQ, GE, Constraint
@@ -42,6 +43,7 @@ __all__ = [
     "Set",
     "lexmax",
     "lexmin",
+    "memo",
     "SetSpace",
     "UnionMap",
     "UnionSet",

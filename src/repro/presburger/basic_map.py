@@ -4,10 +4,16 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Optional, Sequence
 
+from . import memo
 from .basic_set import BasicSet
 from .constraint import Constraint
 from .linexpr import LinExpr
 from .space import MapSpace, SetSpace, fresh_names
+
+_APPLY_MEMO = memo.table("apply_range")
+_INTERSECT_MEMO = memo.table("map_intersect")
+_REVERSE_MEMO = memo.table("map_reverse")
+_RENAME_MEMO = memo.table("map_rename")
 
 
 class BasicMap:
@@ -24,6 +30,15 @@ class BasicMap:
                 raise ValueError(f"constraint {c} mentions {bad} outside {space}")
         object.__setattr__(self, "space", space)
         object.__setattr__(self, "constraints", constraints)
+
+    @classmethod
+    def _make(cls, space: MapSpace, constraints: tuple) -> "BasicMap":
+        """Fast constructor for constraints already validated against
+        ``space`` and already filtered of trivially-true members."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "constraints", constraints)
+        return self
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("BasicMap is immutable")
@@ -71,7 +86,9 @@ class BasicMap:
 
     def wrap(self) -> BasicSet:
         """View the relation as a set over in_dims + out_dims."""
-        return BasicSet(
+        # The wrapped space carries exactly the map's symbols, so the
+        # constraints are valid by construction.
+        return BasicSet._make(
             SetSpace(
                 f"{self.space.in_name}->{self.space.out_name}",
                 self.space.in_dims + self.space.out_dims,
@@ -91,12 +108,23 @@ class BasicMap:
     # -- algebra -----------------------------------------------------------
 
     def reverse(self) -> "BasicMap":
-        return BasicMap(self.space.reversed(), self.constraints)
+        key = (self.space, self.constraints)
+        cached = _REVERSE_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        # Same symbols, already filtered: the fast constructor applies.
+        result = BasicMap._make(self.space.reversed(), self.constraints)
+        return _REVERSE_MEMO.put(key, result)
 
     def intersect(self, other: "BasicMap") -> "BasicMap":
         if self.space != other.space:
             raise ValueError(f"space mismatch: {self.space} vs {other.space}")
-        return BasicMap(self.space, self.constraints + other.constraints)
+        key = (self.space, self.constraints, other.constraints)
+        cached = _INTERSECT_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        result = BasicMap._make(self.space, self.constraints + other.constraints)
+        return _INTERSECT_MEMO.put(key, result)
 
     def intersect_domain(self, dom: BasicSet) -> "BasicMap":
         aligned = _align_set_dims(dom, self.space.in_dims)
@@ -108,11 +136,11 @@ class BasicMap:
 
     def domain(self) -> BasicSet:
         bset = self.wrap().project_out(self.space.out_dims)
-        return BasicSet(self.space.domain_space, bset.constraints)
+        return BasicSet._make(self.space.domain_space, bset.constraints)
 
     def range(self) -> BasicSet:
         bset = self.wrap().project_out(self.space.in_dims)
-        return BasicSet(self.space.range_space, bset.constraints)
+        return BasicSet._make(self.space.range_space, bset.constraints)
 
     def apply_range(self, other: "BasicMap") -> "BasicMap":
         """Compose: ``{ x -> z : exists y. self(x,y) and other(y,z) }``."""
@@ -120,6 +148,10 @@ class BasicMap:
             raise ValueError(
                 f"arity mismatch composing {self.space} with {other.space}"
             )
+        key = (self.space, self.constraints, other.space, other.constraints)
+        cached = _APPLY_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
         taken = set(self.space.in_dims) | set(self.space.out_dims) | set(self.space.params)
         # Rename other's dims away from ours, then equate mid dims.
         other_in = fresh_names([f"m_{d}" for d in other.space.in_dims], taken)
@@ -149,7 +181,7 @@ class BasicMap:
             tuple(other_out),
             params,
         )
-        return BasicMap(out_space, projected.constraints)
+        return _APPLY_MEMO.put(key, BasicMap(out_space, projected.constraints))
 
     def apply_domain(self, other: "BasicMap") -> "BasicMap":
         """``{ y -> z : exists x. self(x,z) and other(x,y) }``."""
@@ -178,10 +210,15 @@ class BasicMap:
         return self.fix(binding)
 
     def rename_dims(self, mapping: Mapping[str, str]) -> "BasicMap":
-        return BasicMap(
+        key = (self.space, self.constraints, tuple(sorted(mapping.items())))
+        cached = _RENAME_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        result = BasicMap(
             self.space.rename_dims(dict(mapping)),
             [c.rename(mapping) for c in self.constraints],
         )
+        return _RENAME_MEMO.put(key, result)
 
     def with_names(self, in_name: str, out_name: str) -> "BasicMap":
         return BasicMap(

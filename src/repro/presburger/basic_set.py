@@ -4,17 +4,24 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
+from . import memo
 from .constraint import GE, Constraint
 from .fm import (
     FeasibilityUndecided,
     bounds_for_symbol,
     eliminate_symbols,
+    eliminate_symbols_for_bounds,
     find_integer_point,
     prune_redundant,
     rational_feasible,
 )
 from .linexpr import LinExpr
 from .space import SetSpace
+
+_EMPTY_MEMO = memo.table("set_empty")
+_PROJECT_MEMO = memo.table("project_out")
+_SIMPLIFY_MEMO = memo.table("set_simplify")
+_BOX_MEMO = memo.table("bounding_box")
 
 
 class BasicSet:
@@ -51,6 +58,17 @@ class BasicSet:
 
     # -- constructors ------------------------------------------------------
 
+    @classmethod
+    def _make(cls, space: SetSpace, constraints: Tuple[Constraint, ...]) -> "BasicSet":
+        """Fast constructor for constraints already validated against
+        ``space`` (i.e. taken from an existing set/map over the same
+        symbols) and already filtered of trivially-true members."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "space", space)
+        object.__setattr__(self, "constraints", constraints)
+        object.__setattr__(self, "_empty", None)
+        return self
+
     @staticmethod
     def universe(space: SetSpace) -> "BasicSet":
         return BasicSet(space, ())
@@ -68,14 +86,20 @@ class BasicSet:
         """Exact integer emptiness (falls back to rational when undecided)."""
         if self._empty is not None:
             return self._empty
-        if self.is_obviously_empty():
-            result = True
-        else:
-            try:
-                result = find_integer_point(list(self.constraints)) is None
-            except FeasibilityUndecided:
-                # Rational feasibility is an over-approximation: non-empty.
-                result = False
+        # Emptiness depends on the constraints alone, so structurally equal
+        # sets (rebuilt per pass) share one verdict through the memo table.
+        key = self.constraints
+        result = _EMPTY_MEMO.get(key)
+        if result is memo.MISS:
+            if self.is_obviously_empty():
+                result = True
+            else:
+                try:
+                    result = find_integer_point(list(self.constraints)) is None
+                except FeasibilityUndecided:
+                    # Rational feasibility is an over-approximation: non-empty.
+                    result = False
+            _EMPTY_MEMO.put(key, result)
         object.__setattr__(self, "_empty", result)
         return result
 
@@ -95,15 +119,19 @@ class BasicSet:
     def intersect(self, other: "BasicSet") -> "BasicSet":
         if self.space != other.space:
             raise ValueError(f"space mismatch: {self.space} vs {other.space}")
-        return BasicSet(self.space, self.constraints + other.constraints)
+        return BasicSet._make(self.space, self.constraints + other.constraints)
 
     def project_out(self, dims: Sequence[str]) -> "BasicSet":
         """Existentially quantify ``dims`` (Fourier–Motzkin)."""
         missing = [d for d in dims if d not in self.space.dims]
         if missing:
             raise ValueError(f"cannot project out non-dims {missing} of {self.space}")
+        key = (self.space, self.constraints, tuple(dims))
+        cached = _PROJECT_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
         cons = eliminate_symbols(list(self.constraints), list(dims))
-        return BasicSet(self.space.drop_dims(dims), cons)
+        return _PROJECT_MEMO.put(key, BasicSet(self.space.drop_dims(dims), cons))
 
     def fix(self, binding: Mapping[str, int]) -> "BasicSet":
         """Substitute concrete integer values for dims and/or params."""
@@ -133,7 +161,12 @@ class BasicSet:
     def simplify(self) -> "BasicSet":
         if self.is_obviously_empty():
             return BasicSet.empty(self.space)
-        return BasicSet(self.space, prune_redundant(list(self.constraints)))
+        key = (self.space, self.constraints)
+        cached = _SIMPLIFY_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        result = BasicSet(self.space, prune_redundant(list(self.constraints)))
+        return _SIMPLIFY_MEMO.put(key, result)
 
     def is_subset(self, other: "BasicSet") -> bool:
         """self ⊆ other, exactly over the integers for bounded sets."""
@@ -175,14 +208,22 @@ class BasicSet:
         self, params: Mapping[str, int] | None = None
     ) -> Dict[str, Tuple[Optional[int], Optional[int]]]:
         """Per-dimension bounds of the rational projection onto each dim."""
+        key = (self.space, self.constraints, tuple(sorted((params or {}).items())))
+        cached = _BOX_MEMO.get(key)
+        if cached is not memo.MISS:
+            return dict(cached)
         fixed = self.fix_params(params or {})
         box: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
         for dim in fixed.space.dims:
             others = [d for d in fixed.space.dims if d != dim]
-            proj = eliminate_symbols(list(fixed.constraints), others)
+            # The box only consumes bounds of the rational projection, so
+            # the pruning eliminator (identical rational set, smaller
+            # constraint lists) is safe here.
+            proj = eliminate_symbols_for_bounds(list(fixed.constraints), others)
             lo, hi, _ = bounds_for_symbol(proj, dim, {})
             box[dim] = (lo, hi)
-        return box
+        _BOX_MEMO.put(key, box)
+        return dict(box)
 
     def box_volume(self, params: Mapping[str, int] | None = None) -> int:
         """Volume of the bounding box (an upper bound on the point count)."""

@@ -20,7 +20,7 @@ GE = ">="
 class Constraint:
     """``expr == 0`` (kind EQ) or ``expr >= 0`` (kind GE)."""
 
-    __slots__ = ("expr", "kind")
+    __slots__ = ("expr", "kind", "_hash")
 
     def __init__(self, expr: LinExpr, kind: str):
         if kind not in (EQ, GE):
@@ -28,16 +28,18 @@ class Constraint:
         expr = _normalise(expr, kind)
         object.__setattr__(self, "expr", expr)
         object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):  # pragma: no cover
         raise AttributeError("Constraint is immutable")
 
     def __getstate__(self):
-        return tuple(getattr(self, slot) for slot in self.__slots__)
+        return (self.expr, self.kind)
 
     def __setstate__(self, state):
-        for slot, value in zip(self.__slots__, state):
-            object.__setattr__(self, slot, value)
+        object.__setattr__(self, "expr", state[0])
+        object.__setattr__(self, "kind", state[1])
+        object.__setattr__(self, "_hash", None)
 
     # -- constructors ------------------------------------------------------
 
@@ -113,7 +115,11 @@ class Constraint:
         return self.kind == other.kind and self.expr == other.expr
 
     def __hash__(self) -> int:
-        return hash((self.kind, self.expr))
+        h = self._hash
+        if h is None:
+            h = hash((self.kind, self.expr))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"Constraint({self})"
@@ -124,7 +130,8 @@ class Constraint:
 
 def _normalise(expr: LinExpr, kind: str) -> LinExpr:
     g = expr.content()
-    if g == 0:
+    if g <= 1:
+        # Content 0 (constant) or already GCD-reduced: nothing to divide.
         return expr
     if kind == EQ:
         if expr.const % g:

@@ -9,15 +9,29 @@ upper bound — which holds for all constraint systems this package builds
 (loop bounds, tile containment with constant tile sizes, stencil footprints).
 Integer feasibility is decided exactly for bounded systems by FM-guided
 backtracking search.
+
+Two families of fast paths keep the hot loop cheap:
+
+* :func:`eliminate_symbol` short-circuits the *box* case — every bound on
+  the eliminated symbol is a single-symbol constraint (rectangular tile
+  containment) — where all pairwise combinations are constants and the
+  feasible ones vanish, so no combination needs to be materialised;
+* feasibility-only entry points (:func:`rational_feasible`,
+  :func:`eliminate_symbols_for_bounds`) prune constraints that are
+  rationally implied by cheap interval propagation between elimination
+  rounds.  The pruning preserves the rational set exactly, so feasibility
+  verdicts and rational-projection bounds are unchanged while the quadratic
+  FM blowup is cut at every round.
 """
 
 from __future__ import annotations
 
-from math import ceil, floor
+from math import ceil, floor, gcd
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .constraint import EQ, GE, Constraint
 from .linexpr import LinExpr
+from .symtab import sym_name
 from ..service import instrument
 
 
@@ -54,14 +68,30 @@ def eliminate_symbol(constraints: Sequence[Constraint], sym: str) -> List[Constr
     lowers: List[Tuple[int, Constraint]] = []  # a > 0 in a*sym + e >= 0
     uppers: List[Tuple[int, Constraint]] = []  # a < 0 in a*sym + e >= 0
     rest: List[Constraint] = []
+    box = True  # every bound on sym mentions sym alone
     for c in constraints:
         a = c.coeff(sym)
         if a == 0:
             rest.append(c)
         elif a > 0:
             lowers.append((a, c))
+            box = box and len(c.expr.terms) == 1 and a == 1
         else:
             uppers.append((-a, c))
+            box = box and len(c.expr.terms) == 1 and a == -1
+    if box and lowers and uppers:
+        # Box fast path: all bounds are single-symbol, so every pairwise
+        # combination is a constant.  Normalisation already reduced the
+        # coefficient to +/-1, hence the bounds are exactly
+        # ``sym >= -cl`` and ``sym <= cu``; if max(-cl) <= min(cu) each
+        # combination is trivially true and the pairwise loop contributes
+        # nothing.  Fall through to the generic loop on the (rare)
+        # infeasible box so the emitted falsum constants stay identical.
+        lo = max(-c.expr.const for _, c in lowers)
+        hi = min(c.expr.const for _, c in uppers)
+        if lo <= hi:
+            instrument.count("presburger.fm_box_fast_path")
+            return _dedupe(rest)
     for al, cl in lowers:
         for au, cu in uppers:
             # cl: al*sym + el >= 0, cu: -au*sym + eu >= 0
@@ -81,14 +111,17 @@ def _eliminate_via_equality(
         # sym = -sign(a) * (eq.expr - a*sym)
         rest_expr = eq.expr - LinExpr({sym: a})
         replacement = rest_expr * (-1 if a == 1 else 1)
+        binding = {sym: replacement}
         for c in constraints:
             if c is eq:
                 continue
-            out.append(c.substitute({sym: replacement}))
+            out.append(c.substitute(binding))
         return out
     # General integer-exact combination: add the right multiple of eq.expr
-    # (which equals zero) to cancel sym; scale the other constraint by |a|
-    # (positive, so inequality direction is preserved).
+    # (which equals zero) to cancel sym.  The other constraint is scaled by
+    # |a|/gcd(a, b) — the GCD-reduced multiplier — which is positive (so the
+    # inequality direction is preserved) and keeps intermediate coefficients
+    # as small as possible before re-normalisation.
     for c in constraints:
         if c is eq:
             continue
@@ -96,8 +129,10 @@ def _eliminate_via_equality(
         if b == 0:
             out.append(c)
             continue
-        k = -(b * abs(a)) // a
-        out.append(Constraint(c.expr * abs(a) + eq.expr * k, c.kind))
+        g = gcd(abs(a), abs(b))
+        m = abs(a) // g
+        k = -(b * m) // a
+        out.append(Constraint(c.expr * m + eq.expr * k, c.kind))
     # |a| > 1: sym must exist with a*sym = -rest; record divisibility loss —
     # the projection may be a rational over-approximation.  For the constraint
     # systems in this package |a| is always 1 or a tile size dividing evenly.
@@ -114,6 +149,26 @@ def eliminate_symbols(
     return cur
 
 
+def eliminate_symbols_for_bounds(
+    constraints: Sequence[Constraint], syms: Sequence[str]
+) -> List[Constraint]:
+    """Like :func:`eliminate_symbols` but only the *rational set* of the
+    result is guaranteed, not its syntactic form.
+
+    Interval-implied constraints are pruned between rounds, which keeps the
+    quadratic FM blowup in check.  Use only where the caller consumes
+    feasibility or bounds (both are representation-independent), never where
+    the projected constraints become part of a set that user code sees.
+    """
+    instrument.count("presburger.fm_eliminate", len(syms))
+    cur = prune_implied_by_intervals(_dedupe(list(constraints)))
+    for sym in syms:
+        cur = eliminate_symbol(cur, sym)
+        if len(cur) > 8:
+            cur = prune_implied_by_intervals(cur)
+    return cur
+
+
 def constraint_symbols(constraints: Iterable[Constraint]) -> List[str]:
     seen: Dict[str, None] = {}
     for c in constraints:
@@ -122,9 +177,106 @@ def constraint_symbols(constraints: Iterable[Constraint]) -> List[str]:
     return list(seen)
 
 
+# -- interval-propagation pruning -----------------------------------------
+
+Interval = Tuple[Optional[int], Optional[int]]
+
+
+def interval_bounds(constraints: Sequence[Constraint]) -> Dict[str, Interval]:
+    """Per-symbol integer bounds implied by the single-symbol constraints.
+
+    Equalities with a unit coefficient pin the symbol; inequalities tighten
+    one side.  Symbols without single-symbol bounds are absent.
+    """
+    bounds: Dict[str, Interval] = {}
+    for c in constraints:
+        terms = c.expr.terms
+        if len(terms) != 1:
+            continue
+        sid, a = terms[0]
+        name = sym_name(sid)
+        const = c.expr.const
+        lo, hi = bounds.get(name, (None, None))
+        if c.kind == EQ:
+            # a*s + const == 0 (normalisation leaves |a| == 1 or a falsum).
+            if const % a:
+                lo, hi = 1, 0  # empty
+            else:
+                v = -const // a
+                lo = v if lo is None else max(lo, v)
+                hi = v if hi is None else min(hi, v)
+        elif a > 0:
+            b = ceil(-const / a)
+            lo = b if lo is None else max(lo, b)
+        else:
+            b = floor(const / -a)
+            hi = b if hi is None else min(hi, b)
+        bounds[name] = (lo, hi)
+    return bounds
+
+
+def implied_by_intervals(c: Constraint, bounds: Dict[str, Interval]) -> bool:
+    """Whether ``c`` holds everywhere on the box described by ``bounds``.
+
+    Sound over both Q and Z: any point satisfying the single-symbol
+    constraints the box came from also satisfies ``c``.
+    """
+    if c.kind != GE:
+        return False
+    lo = c.expr.const
+    for sid, coef in c.expr.terms:
+        b = bounds.get(sym_name(sid))
+        if b is None:
+            return False
+        blo, bhi = b
+        if coef > 0:
+            if blo is None:
+                return False
+            lo += coef * blo
+        else:
+            if bhi is None:
+                return False
+            lo += coef * bhi
+    return lo >= 0
+
+
+def prune_implied_by_intervals(
+    constraints: Sequence[Constraint],
+) -> List[Constraint]:
+    """Drop constraints rationally implied via cheap interval propagation.
+
+    Two reductions, both preserving the rational (and integer) solution set
+    exactly:
+
+    * among inequalities sharing one coefficient pattern only the tightest
+      constant survives (``e + c >= 0`` with minimal ``c``);
+    * a multi-symbol inequality whose minimum over the single-symbol
+      bounding box is non-negative is implied by those bounds and dropped.
+    """
+    tightest: Dict[tuple, int] = {}
+    for c in constraints:
+        if c.kind == GE:
+            key = c.expr.terms
+            const = c.expr.const
+            if key not in tightest or const < tightest[key]:
+                tightest[key] = const
+    bounds = interval_bounds(constraints)
+    out: List[Constraint] = []
+    for c in constraints:
+        if c.kind == GE:
+            if c.expr.const != tightest.get(c.expr.terms):
+                instrument.count("presburger.prune_interval")
+                continue  # a tighter same-pattern constraint exists
+            if len(c.expr.terms) > 1 and implied_by_intervals(c, bounds):
+                instrument.count("presburger.prune_interval")
+                continue
+        out.append(c)
+    return out
+
+
 def rational_feasible(constraints: Sequence[Constraint]) -> bool:
     """Whether the conjunction has a rational solution (exact via FM)."""
-    cur = _dedupe(constraints)
+    cur = prune_implied_by_intervals(_dedupe(constraints))
     for c in cur:
         if c.is_trivially_false():
             return False
@@ -134,6 +286,8 @@ def rational_feasible(constraints: Sequence[Constraint]) -> bool:
         for c in cur:
             if c.is_trivially_false():
                 return False
+        if len(cur) > 8:
+            cur = prune_implied_by_intervals(cur)
     return True
 
 
@@ -242,7 +396,12 @@ def find_integer_point(
 
 
 def prune_redundant(constraints: Sequence[Constraint]) -> List[Constraint]:
-    """Drop constraints implied (rationally) by the others."""
+    """Drop constraints implied (rationally) by the others.
+
+    Constraints are GCD-normalised at construction time; here each
+    inequality is tested against the rest — first with the cheap interval
+    check (same verdict, no FM), then with the exact rational probe.
+    """
     cur = _dedupe(constraints)
     kept: List[Constraint] = list(cur)
     i = 0
@@ -252,6 +411,10 @@ def prune_redundant(constraints: Sequence[Constraint]) -> List[Constraint]:
             i += 1
             continue
         others = kept[:i] + kept[i + 1 :]
+        if implied_by_intervals(candidate, interval_bounds(others)):
+            instrument.count("presburger.prune_interval")
+            kept.pop(i)
+            continue
         negs = candidate.negated()
         implied = all(not rational_feasible(list(others) + [n]) for n in negs)
         if implied:

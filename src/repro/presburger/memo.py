@@ -1,0 +1,110 @@
+"""Operation memoization for the presburger hot loop.
+
+The footprint computation (relations (2)-(4) of the paper) replays the same
+``BasicMap``/``BasicSet`` operations over and over: tile-to-instance maps
+are composed with every access of a statement, access maps are rebuilt per
+dependence probe, and the autotuner re-runs whole passes over shifted
+variants of one constraint system.  Because every presburger value is an
+immutable value object, those operations are pure — so results are memoized
+here in per-operation tables.
+
+Keys are *structural*: spaces and constraint tuples (whose ``LinExpr``
+leaves carry cached hashes and are usually hash-consed), never semantic
+equality.  A hit therefore returns the exact object an earlier identical
+call produced, which keeps optimizer outputs bit-identical to the uncached
+path.
+
+Hit/miss counts are forwarded to :mod:`repro.service.instrument` (visible
+under ``optimize --stats`` as ``presburger.memo.<op>.hit/miss``) and kept
+process-wide for :func:`stats`.  Tables are bounded: past :data:`CAP`
+entries a table is cleared wholesale — memoization is an optimisation only,
+so losing entries is always safe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..service import instrument
+
+#: Sentinel distinguishing "no entry" from a cached ``None``/``False``.
+MISS = object()
+
+CAP = 1 << 14
+
+_TABLES: Dict[str, "MemoTable"] = {}
+
+
+class MemoTable:
+    """One bounded memo dict with hit/miss accounting."""
+
+    __slots__ = ("name", "data", "hits", "misses", "evictions",
+                 "_hit_counter", "_miss_counter")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.data: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._hit_counter = f"presburger.memo.{name}.hit"
+        self._miss_counter = f"presburger.memo.{name}.miss"
+
+    def get(self, key):
+        """The cached value for ``key``, or :data:`MISS`."""
+        value = self.data.get(key, MISS)
+        if value is MISS:
+            self.misses += 1
+            instrument.count(self._miss_counter)
+        else:
+            self.hits += 1
+            instrument.count(self._hit_counter)
+        return value
+
+    def put(self, key, value):
+        data = self.data
+        if len(data) >= CAP:
+            data.clear()
+            self.evictions += 1
+        data[key] = value
+        return value
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def table(name: str) -> MemoTable:
+    """The (shared) memo table registered under ``name``."""
+    t = _TABLES.get(name)
+    if t is None:
+        t = _TABLES[name] = MemoTable(name)
+    return t
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Process-wide per-table hit/miss/size counts."""
+    return {
+        name: {
+            "hits": t.hits,
+            "misses": t.misses,
+            "size": len(t),
+            "evictions": t.evictions,
+        }
+        for name, t in sorted(_TABLES.items())
+    }
+
+
+def clear_all() -> None:
+    """Empty every memo table and the LinExpr intern table.
+
+    Counters are preserved; only cached values are dropped.  Used by tests
+    and by benchmarks that need a genuinely cold path.
+    """
+    from .linexpr import clear_intern_table
+
+    for t in _TABLES.values():
+        t.clear()
+    clear_intern_table()

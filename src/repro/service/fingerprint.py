@@ -26,7 +26,7 @@ from ..ir.tensor import Tensor
 from ..presburger import Set
 
 #: Bump on any change to the optimizer or to this serialization format.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SALT = f"repro-compile-v{SCHEMA_VERSION}"
 

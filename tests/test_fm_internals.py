@@ -8,6 +8,9 @@ from repro.presburger.fm import (
     eliminate_symbol,
     eliminate_symbols,
     find_integer_point,
+    implied_by_intervals,
+    interval_bounds,
+    prune_implied_by_intervals,
     prune_redundant,
     rational_feasible,
 )
@@ -53,6 +56,47 @@ class TestEliminateSymbol:
     def test_unconstrained_symbol_passthrough(self):
         cons = [ge(V("y"), 3)]
         assert eliminate_symbol(cons, "x") == cons
+
+    def test_equality_with_non_unit_gcd_multiplier(self):
+        # Eliminating x via 2x + 3y == 0 from 4x - z <= 20 shares the
+        # factor gcd(2, 4) = 2, so the GCD-reduced combination is
+        # 1*(20 + z - 4x) + 2*(2x + 3y) = 6y + z + 20 directly — without
+        # the reduction the intermediate would be twice that and only
+        # re-normalisation would recover it.
+        cons = [eq(V("x") * 2 + V("y") * 3), ge(V("z") - V("x") * 4 + 20)]
+        out = eliminate_symbol(cons, "x")
+        assert all(c.coeff("x") == 0 for c in out)
+        [c] = out
+        assert c.coeff("y") == 6 and c.coeff("z") == 1 and c.expr.const == 20
+
+    def test_equality_gcd_reduction_matches_rational_semantics(self):
+        # 6x == 2y (i.e. 3x == y) with 4x >= y - 8 and 4x <= y + 8.
+        cons = [
+            eq(V("x") * 6 - V("y") * 2),
+            ge(V("x") * 4 - V("y") + 8),
+            le(V("x") * 4, V("y") + 8),
+        ]
+        out = eliminate_symbol(cons, "x")
+        assert all(c.coeff("x") == 0 for c in out)
+        # Substituting x = y/3 rationally: 4y/3 >= y - 8 -> y >= -24 and
+        # 4y/3 <= y + 8 -> y <= 24.
+        for y, inside in ((-24, True), (0, True), (24, True), (-25, False), (25, False)):
+            assert all(c.satisfied_by({"y": y}) for c in out) == inside
+
+    def test_box_fast_path_matches_pairwise(self):
+        # All bounds on x are single-symbol and the box is feasible: the
+        # pairwise combinations are trivially true and the survivors are
+        # exactly the constraints not involving x, in order.
+        rest = [ge(V("y"), 1), le(V("y") + V("z"), 9)]
+        cons = [ge(V("x")), rest[0], le(V("x"), 5), rest[1], le(V("x"), 7)]
+        assert eliminate_symbol(cons, "x") == rest
+
+    def test_box_fast_path_infeasible_emits_falsum(self):
+        # lo > hi: the fast path must not fire, so the pairwise falsum
+        # (here 1 - 3 = -2 >= 0) is emitted like always.
+        cons = [ge(V("x"), 3), le(V("x"), 1), ge(V("y"))]
+        out = eliminate_symbol(cons, "x")
+        assert any(c.is_trivially_false() for c in out)
 
     def test_multi_symbol_elimination_order_independent(self):
         cons = [
@@ -136,6 +180,49 @@ class TestBoundsForSymbol:
     def test_unbounded_sides(self):
         lo, hi, _ = bounds_for_symbol([ge(V("x"), 3)], "x", {})
         assert lo == 3 and hi is None
+
+
+class TestIntervalPruning:
+    def test_interval_bounds_from_single_symbol_constraints(self):
+        cons = [ge(V("x"), 2), le(V("x"), 9), le(V("y"), 4)]
+        b = interval_bounds(cons)
+        assert b["x"] == (2, 9)
+        assert b["y"] == (None, 4)
+
+    def test_equality_pins_interval(self):
+        b = interval_bounds([eq(V("x") - 3)])
+        assert b["x"] == (3, 3)
+
+    def test_implied_by_intervals_positive(self):
+        # On the box 0 <= x <= 5, 0 <= y <= 5: x + y + 1 >= 0 holds.
+        cons = [ge(V("x")), le(V("x"), 5), ge(V("y")), le(V("y"), 5)]
+        assert implied_by_intervals(ge(V("x") + V("y") + 1), interval_bounds(cons))
+        assert not implied_by_intervals(
+            ge(V("x") + V("y") - 1), interval_bounds(cons)
+        )
+
+    def test_implied_requires_needed_bounds(self):
+        # y is unbounded above, so x - y >= 0 cannot be interval-implied.
+        cons = [ge(V("x")), le(V("x"), 5), ge(V("y"))]
+        assert not implied_by_intervals(ge(V("x") - V("y")), interval_bounds(cons))
+
+    def test_prune_keeps_solution_set(self):
+        cons = [
+            ge(V("x")),
+            le(V("x"), 5),
+            le(V("x"), 9),  # looser duplicate pattern
+            ge(V("y")),
+            le(V("y"), 3),
+            ge(V("x") + V("y") + 2),  # implied by the box
+        ]
+        out = prune_implied_by_intervals(cons)
+        assert len(out) < len(cons)
+        for x in range(-1, 7):
+            for y in range(-1, 5):
+                pt = {"x": x, "y": y}
+                assert all(c.satisfied_by(pt) for c in cons) == all(
+                    c.satisfied_by(pt) for c in out
+                )
 
 
 class TestPruneRedundant:

@@ -135,3 +135,92 @@ def test_sample_is_member(a):
         assert a.is_empty()
     else:
         assert a.contains(pt)
+
+
+# ---------------------------------------------------------------------------
+# fast-path equivalence: the box shortcut and the memo tables must be
+# unobservable — identical results to the generic slow path.
+
+
+@st.composite
+def box_basic_sets(draw):
+    """Sets whose every constraint is a single-symbol bound: the shape that
+    takes the FM box fast path."""
+    cons = [
+        Constraint.ge(LinExpr.var(d), UNIVERSE_LO) for d in DIMS
+    ] + [Constraint.le(LinExpr.var(d), UNIVERSE_HI) for d in DIMS]
+    for d in DIMS:
+        if draw(st.booleans()):
+            cons.append(Constraint.ge(LinExpr.var(d), draw(st.integers(-6, 6))))
+        if draw(st.booleans()):
+            cons.append(Constraint.le(LinExpr.var(d), draw(st.integers(-6, 6))))
+    return BasicSet(SPACE, cons)
+
+
+def _reference_eliminate(cons, sym):
+    """The generic pairwise FM loop, with no fast paths."""
+    lowers, uppers, rest = [], [], []
+    for c in cons:
+        a = c.coeff(sym)
+        if a == 0:
+            rest.append(c)
+        elif a > 0:
+            lowers.append((a, c))
+        else:
+            uppers.append((-a, c))
+    out = list(rest)
+    for al, cl in lowers:
+        for au, cu in uppers:
+            el = cl.expr - LinExpr({sym: al})
+            eu = cu.expr + LinExpr({sym: au})
+            out.append(Constraint(el * au + eu * al, ">="))
+    return [c for c in out if not c.is_trivially_true()]
+
+
+@settings(max_examples=30, deadline=None)
+@given(box_basic_sets())
+def test_box_fast_path_equals_generic_elimination(bset):
+    from repro.presburger.fm import eliminate_symbol
+
+    fast = eliminate_symbol(list(bset.constraints), "y")
+    slow = _reference_eliminate(list(bset.constraints), "y")
+    # Identical up to deduplication of repeated constraints.
+    assert list(dict.fromkeys(slow)) == fast
+
+    proj = bset.project_out(["y"])
+    xs = {p["x"] for p in all_points() if bset.contains(p)}
+    for x in range(UNIVERSE_LO, UNIVERSE_HI + 1):
+        assert proj.contains({"x": x}) == (x in xs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_basic_sets(), bounded_basic_sets())
+def test_memoized_ops_equal_cold_results(a, b):
+    from repro.presburger import memo
+
+    warm_i = a.intersect(b)
+    warm_p = a.project_out(["y"])
+    warm_e = a.is_empty()
+    memo.clear_all()
+    cold_a = BasicSet(a.space, a.constraints)
+    cold_b = BasicSet(b.space, b.constraints)
+    cold_i = cold_a.intersect(cold_b)
+    cold_p = cold_a.project_out(["y"])
+    assert cold_i.space == warm_i.space
+    assert cold_i.constraints == warm_i.constraints
+    assert cold_p.space == warm_p.space
+    assert cold_p.constraints == warm_p.constraints
+    assert cold_a.is_empty() == warm_e
+
+
+@settings(max_examples=20, deadline=None)
+@given(bounded_basic_sets())
+def test_pruned_feasibility_agrees_with_brute_force(bset):
+    from repro.presburger.fm import rational_feasible
+
+    has_integer_point = any(bset.contains(p) for p in all_points())
+    feasible = rational_feasible(list(bset.constraints))
+    # Rational feasibility over-approximates integer membership; inside a
+    # bounded box an integer witness forces rational feasibility.
+    if has_integer_point:
+        assert feasible

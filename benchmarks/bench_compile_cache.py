@@ -1,15 +1,25 @@
 """Compilation-service benchmark: cold vs. warm compiles, serial vs.
-parallel autotuning.
+parallel autotuning, and cross-process memo warm-starts.
 
 The service layer's claim is that a second structurally identical compile
 is (nearly) free and that tile-size tuning parallelises across the batch
 driver.  This benchmark measures both: per-workload cold compile time
 against a warm ``cached_optimize`` hit (memory tier and disk tier), and
 autotune wall time through the serial vs. process-pool driver, cold and
-with a warm cache.  Results land in ``benchmarks/results/compile_cache.json``.
+with a warm cache.
+
+It also measures the *memo spill* layer: a fresh process whose result
+cache is empty but whose presburger memo tables warm-start from the
+snapshot a previous process spilled through the disk cache.  Both runs
+recompile from scratch — only the memo state differs — and the schedule
+trees must hash identically (compiles are byte-deterministic).  Results
+land in ``benchmarks/results/compile_cache.json``.
 """
 
+import argparse
+import json
 import os
+import subprocess
 import sys
 import tempfile
 import time
@@ -21,7 +31,104 @@ from repro.pipelines import conv2d, polybench
 from repro.scheduler.autotune import autotune_tile_sizes
 from repro.service import CompileCache, cached_optimize
 
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+
 TUNE_CANDIDATES = (8, 16, 32, 64)
+
+#: The 15 benchmark workloads of the paper's evaluation, at compile-bench
+#: sizes (sizes only set parameter values; the constraint systems the
+#: compiler solves are size-independent).
+WARM_START_WORKLOADS = [
+    ("bilateral_grid", 512),
+    ("camera_pipeline", 512),
+    ("harris", 512),
+    ("local_laplacian", 512),
+    ("multiscale_interp", 512),
+    ("unsharp_mask", 512),
+    ("2mm", 256),
+    ("3mm", 256),
+    ("atax", 256),
+    ("bicg", 256),
+    ("covariance", 256),
+    ("doitgen", 32),
+    ("gemver", 256),
+    ("mvt", 256),
+    ("conv2d", 128),
+]
+
+QUICK_WARM_START_WORKLOADS = [("harris", 512), ("atax", 256), ("conv2d", 128)]
+
+#: Subprocess payload: one ``compile_batch`` in a genuinely fresh process.
+#: The result store is cleared first, so the compile always runs; whether
+#: the memo tables warm-start depends only on what an earlier process
+#: spilled into ``cache_dir``.
+_CHILD = """
+import hashlib, json, sys, time
+from repro.__main__ import _build_workload, _default_tiles
+from repro.codegen import print_tree
+from repro.presburger import memo
+from repro.service import CompileCache, CompileRequest, compile_batch
+
+name, size, cache_dir = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+prog = _build_workload(name, size)
+cache = CompileCache(cache_dir=cache_dir)
+cache.clear(results=True, memos=False)
+request = CompileRequest(prog, "cpu", _default_tiles(name))
+t0 = time.perf_counter()
+(outcome,) = compile_batch([request], mode="serial", cache=cache)
+elapsed = time.perf_counter() - t0
+assert outcome.ok, outcome.error
+stats = memo.stats()
+tree = print_tree(outcome.result.tree, prog)
+json.dump({
+    "seconds": elapsed,
+    "warm_hits": sum(v["warm_hits"] for v in stats.values()),
+    "tree_sha": hashlib.sha256(tree.encode()).hexdigest(),
+}, sys.stdout)
+"""
+
+
+def _compile_in_subprocess(name: str, size: int, cache_dir: str) -> dict:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, name, str(size), cache_dir],
+        capture_output=True,
+        env=env,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(f"{name}: child failed\n{proc.stderr.decode()}")
+    return json.loads(proc.stdout)
+
+
+def measure_warm_start(workloads):
+    """Cold vs. memo-warm-started compile, each in its own process."""
+    rows, raw = [], {}
+    for name, size in workloads:
+        with tempfile.TemporaryDirectory() as cache_dir:
+            cold = _compile_in_subprocess(name, size, cache_dir)
+            warm = _compile_in_subprocess(name, size, cache_dir)
+        assert cold["warm_hits"] == 0, (name, cold)
+        assert warm["warm_hits"] > 0, (name, warm)  # snapshot actually hit
+        assert warm["tree_sha"] == cold["tree_sha"], name  # byte-determinism
+        speedup = cold["seconds"] / warm["seconds"] if warm["seconds"] else float("inf")
+        raw[name] = {
+            "cold_seconds": cold["seconds"],
+            "warm_seconds": warm["seconds"],
+            "warm_hits": warm["warm_hits"],
+            "speedup": speedup,
+            "tree_sha": cold["tree_sha"],
+        }
+        rows.append(
+            [
+                name,
+                f"{cold['seconds'] * 1e3:.1f}",
+                f"{warm['seconds'] * 1e3:.1f}",
+                warm["warm_hits"],
+                f"{speedup:.2f}x",
+            ]
+        )
+    return rows, raw
 
 
 def bench_workloads():
@@ -121,7 +228,7 @@ def measure_autotune():
     return rows, raw
 
 
-def run():
+def run(quick: bool = False):
     cold_rows, cold_raw = measure_cold_warm()
     print_table(
         "Cold vs. warm compile time (ms)",
@@ -135,20 +242,61 @@ def run():
          "par speedup", "warm speedup"],
         tune_rows,
     )
-    raw = {"cold_warm": cold_raw, "autotune": tune_raw}
+    workloads = QUICK_WARM_START_WORKLOADS if quick else WARM_START_WORKLOADS
+    warm_rows, warm_raw = measure_warm_start(workloads)
+    print_table(
+        "Cross-process memo warm-start (compile_batch, fresh process, ms)",
+        ["benchmark", "cold", "warm-started", "warm hits", "speedup"],
+        warm_rows,
+    )
+    raw = {"cold_warm": cold_raw, "autotune": tune_raw, "warm_start": warm_raw}
     path = save_results("compile_cache", raw)
     print(f"saved {path}")
     return raw
 
 
+def _check(raw) -> int:
+    """The smoke assertions CI runs; returns a shell exit code."""
+    total_cold = sum(r["cold_seconds"] for r in raw["warm_start"].values())
+    total_warm = sum(r["warm_seconds"] for r in raw["warm_start"].values())
+    no_warm_hits = [n for n, r in raw["warm_start"].items() if not r["warm_hits"]]
+    if no_warm_hits:
+        print(f"FAIL: no memo warm hits for {no_warm_hits}")
+        return 1
+    if total_warm >= total_cold:
+        print(
+            f"FAIL: warm-started total {total_warm:.3f}s is not faster "
+            f"than cold total {total_cold:.3f}s"
+        )
+        return 1
+    print(
+        f"ok: warm-started total {total_warm:.3f}s vs cold {total_cold:.3f}s "
+        f"({total_cold / total_warm:.2f}x)"
+    )
+    return 0
+
+
 def test_compile_cache(benchmark):
-    raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    raw = benchmark.pedantic(lambda: run(quick=True), rounds=1, iterations=1)
     for name, r in raw["cold_warm"].items():
         # Warm hits must beat recompiling — by a lot.
         assert r["speedup_memory"] > 2, (name, r)
         assert r["speedup_disk"] > 2, (name, r)
     assert raw["autotune"]["warm_speedup"] > 1
+    for name, r in raw["warm_start"].items():
+        assert r["warm_hits"] > 0, (name, r)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: warm-start measurement on three workloads only",
+    )
+    args = ap.parse_args(argv)
+    return _check(run(quick=args.quick))
 
 
 if __name__ == "__main__":
-    run()
+    sys.exit(main())

@@ -159,20 +159,29 @@ def cmd_cache(args) -> int:
 
     cache = default_cache()
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} entries from {cache.cache_dir}")
+        what = args.what
+        removed = cache.clear(
+            results=what in ("all", "results"),
+            memos=what in ("all", "memos"),
+        )
+        kind = "" if what == "all" else f"{what} "
+        print(f"removed {removed} {kind}entries from {cache.cache_dir}")
         return 0
     info = cache.info()
     print(f"cache dir:      {info['cache_dir']}")
     print(f"schema version: {info['schema_version']}")
     print(f"disk entries:   {info['disk_entries']} "
           f"({info['disk_bytes'] / 1024:.1f} KiB)")
+    print(f"memo snapshots: {info['memo_entries']} "
+          f"({info['memo_bytes'] / 1024:.1f} KiB)")
     print(f"memory entries: {info['memory_entries']} "
           f"({info['memory_bytes'] / 1024:.1f} KiB)")
     stats = info["stats"]
     print(f"session stats:  {stats['memory_hits']} memory hits, "
           f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
           f"{stats['stores']} stores")
+    print(f"memo stats:     {stats['memo_hits']} snapshot hits, "
+          f"{stats['memo_misses']} misses, {stats['memo_stores']} stores")
     return 0
 
 
@@ -187,6 +196,13 @@ def main(argv=None) -> int:
 
     cache_p = sub.add_parser("cache", help="inspect or clear the compile cache")
     cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p.add_argument(
+        "--what",
+        choices=["all", "results", "memos"],
+        default="all",
+        help="which store `clear` empties: compile results, spilled memo "
+        "snapshots, or both (default)",
+    )
     cache_p.set_defaults(fn=cmd_cache)
 
     for name, fn in (

@@ -128,10 +128,10 @@ def _lower_cluster(
     spec: NPUSpec,
     params,
 ) -> CCEKernel:
-    promoted_names = {b.tensor for b in promoted}
     promoted_bytes = {b.tensor: b.box_elems * 2 for b in promoted}  # fp16
-    cluster_names = {s.name for s in stmts}
-    written = {s.tensor_written() for s in stmts}
+    # Insertion-ordered (dict keys, statement order), not a set: the store
+    # instructions emitted from it must not depend on PYTHONHASHSEED.
+    written = dict.fromkeys(s.tensor_written() for s in stmts)
 
     assignments: Dict[str, BufferAssignment] = {}
     instructions: List[CCEInstruction] = []

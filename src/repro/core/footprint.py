@@ -28,8 +28,11 @@ TILE_TUPLE = "_tile"
 # mutable, so the memo keys are structural: statement domains, band rows
 # and access loads, never object identities.
 _T2I_MEMO = memo.table("tile_to_instances")
-_FOOTPRINT_MEMO = memo.table("tile_footprint")
-_WRITE_FP_MEMO = memo.table("write_footprint")
+# The footprint tables (and BasicMap.apply_range) are *spillable*: their
+# keys and values pickle by symbol name, so hot entries round-trip through
+# the on-disk compile cache to warm-start future processes.
+_FOOTPRINT_MEMO = memo.table("tile_footprint", spillable=True)
+_WRITE_FP_MEMO = memo.table("write_footprint", spillable=True)
 
 
 def _group_key(program: Program, group: FusionGroup, n: int) -> tuple:

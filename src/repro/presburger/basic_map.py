@@ -10,7 +10,7 @@ from .constraint import Constraint
 from .linexpr import LinExpr
 from .space import MapSpace, SetSpace, fresh_names
 
-_APPLY_MEMO = memo.table("apply_range")
+_APPLY_MEMO = memo.table("apply_range", spillable=True)
 _INTERSECT_MEMO = memo.table("map_intersect")
 _REVERSE_MEMO = memo.table("map_reverse")
 _RENAME_MEMO = memo.table("map_rename")

@@ -173,7 +173,10 @@ class Set:
         for keyset in order:
             tables = groups[keyset]
             cons = []
-            for key in keyset:
+            # Deterministic constraint order: frozenset iteration is salted
+            # by PYTHONHASHSEED, and constraint tuples feed memo keys and
+            # printed output.
+            for key in sorted(keyset, key=sorted):
                 const = max(t[key] for t in tables)  # weakest bound wins
                 cons.append(Constraint(LinExpr(dict(key), const), GE))
             out.append(BasicSet(self.space, cons))

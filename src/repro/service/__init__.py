@@ -28,7 +28,10 @@ __all__ = [
     "fingerprint_program",
     "fingerprint_request",
     "instrument",
+    "load_program_memos",
+    "memo_spill_enabled",
     "reset_default_cache",
+    "spill_program_memos",
 ]
 
 _LAZY = {
@@ -41,6 +44,9 @@ _LAZY = {
     "CompileRequest": ("driver", "CompileRequest"),
     "cached_optimize": ("driver", "cached_optimize"),
     "compile_batch": ("driver", "compile_batch"),
+    "load_program_memos": ("driver", "load_program_memos"),
+    "memo_spill_enabled": ("driver", "memo_spill_enabled"),
+    "spill_program_memos": ("driver", "spill_program_memos"),
     "fingerprint_program": ("fingerprint", "fingerprint_program"),
     "fingerprint_request": ("fingerprint", "fingerprint_request"),
 }

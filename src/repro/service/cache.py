@@ -9,6 +9,15 @@ fresh copy.  The disk tier lives under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro``) and survives processes; entries are written
 atomically and carry a schema version, so a corrupted or stale file is
 silently evicted on load instead of crashing the compile.
+
+Next to the result store the cache keeps a ``memos`` store: spilled
+presburger memo-table snapshots (:func:`repro.presburger.memo.snapshot`)
+keyed by *program* fingerprint, so a fresh process compiling the same
+program — a different tile-size candidate, a re-run after the result
+store was cleared, a batch worker — starts with the hot ``apply_range``
+/``tile_footprint``/``write_footprint`` entries already resident.  Memo
+snapshots are an optimisation only and are loaded with the same
+corruption-tolerant path as results.
 """
 
 from __future__ import annotations
@@ -44,6 +53,9 @@ class CacheStats:
     memory_evictions: int = 0
     disk_evictions: int = 0
     errors: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_stores: int = 0
 
     @property
     def hits(self) -> int:
@@ -58,6 +70,9 @@ class CacheStats:
             "memory_evictions": self.memory_evictions,
             "disk_evictions": self.disk_evictions,
             "errors": self.errors,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_stores": self.memo_stores,
         }
 
 
@@ -143,13 +158,50 @@ class CompileCache:
             self._mem_bytes -= len(blob)
             self.stats.memory_evictions += 1
 
+    # -- memo store --------------------------------------------------------
+
+    def get_memos(self, key: str):
+        """The spilled memo snapshot for ``key`` (a program fingerprint),
+        or ``None``.  Disk-only: memo entries live in the process-wide memo
+        tables once loaded, so there is nothing to tier in memory."""
+        if not self.persistent:
+            return None
+        blob = self._load_disk(key, kind="memos")
+        if blob is not None:
+            try:
+                value = pickle.loads(blob)
+            except Exception:
+                self._evict_disk(key, kind="memos")
+                self.stats.errors += 1
+            else:
+                self.stats.memo_hits += 1
+                return value
+        self.stats.memo_misses += 1
+        return None
+
+    def put_memos(self, key: str, snapshot) -> None:
+        """Persist a memo snapshot under ``key``; empty snapshots are
+        skipped (nothing to warm-start from)."""
+        if not self.persistent or not snapshot:
+            return
+        try:
+            blob = pickle.dumps(snapshot)
+        except Exception:
+            self.stats.errors += 1
+            return
+        self.stats.memo_stores += 1
+        self._store_disk(key, blob, kind="memos")
+
     # -- disk tier ---------------------------------------------------------
 
-    def _path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, key[:2], f"{key}.pkl")
+    def _path(self, key: str, kind: str = "results") -> str:
+        base = self.cache_dir if kind == "results" else os.path.join(
+            self.cache_dir, kind
+        )
+        return os.path.join(base, key[:2], f"{key}.pkl")
 
-    def _load_disk(self, key: str) -> Optional[bytes]:
-        path = self._path(key)
+    def _load_disk(self, key: str, kind: str = "results") -> Optional[bytes]:
+        path = self._path(key, kind)
         try:
             with open(path, "rb") as f:
                 entry = pickle.load(f)
@@ -164,11 +216,11 @@ class CompileCache:
         except Exception:
             # Corrupted, truncated or stale entry: evict, never crash.
             self.stats.errors += 1
-            self._evict_disk(key)
+            self._evict_disk(key, kind)
             return None
 
-    def _store_disk(self, key: str, blob: bytes) -> None:
-        path = self._path(key)
+    def _store_disk(self, key: str, blob: bytes, kind: str = "results") -> None:
+        path = self._path(key, kind)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -188,21 +240,30 @@ class CompileCache:
             # A read-only or full cache dir degrades to memory-only.
             self.stats.errors += 1
 
-    def _evict_disk(self, key: str) -> None:
+    def _evict_disk(self, key: str, kind: str = "results") -> None:
         try:
-            os.unlink(self._path(key))
+            os.unlink(self._path(key, kind))
             self.stats.disk_evictions += 1
         except OSError:
             pass
 
     # -- maintenance -------------------------------------------------------
 
-    def clear(self) -> int:
-        """Drop both tiers; returns the number of disk entries removed."""
-        self._mem.clear()
-        self._mem_bytes = 0
+    def clear(self, results: bool = True, memos: bool = True) -> int:
+        """Drop the selected stores (and the memory tier when ``results``);
+        returns the number of disk entries removed."""
         removed = 0
-        for path, _ in self._disk_entries():
+        if results:
+            self._mem.clear()
+            self._mem_bytes = 0
+            removed += self._clear_kind("results")
+        if memos:
+            removed += self._clear_kind("memos")
+        return removed
+
+    def _clear_kind(self, kind: str) -> int:
+        removed = 0
+        for path, _ in self._disk_entries(kind):
             try:
                 os.unlink(path)
                 removed += 1
@@ -210,12 +271,17 @@ class CompileCache:
                 pass
         return removed
 
-    def _disk_entries(self):
-        if not self.persistent or not os.path.isdir(self.cache_dir):
+    def _disk_entries(self, kind: str = "results"):
+        base = self.cache_dir if kind == "results" else os.path.join(
+            self.cache_dir, kind
+        )
+        if not self.persistent or not os.path.isdir(base):
             return
-        for sub in sorted(os.listdir(self.cache_dir)):
-            subdir = os.path.join(self.cache_dir, sub)
-            if not os.path.isdir(subdir):
+        for sub in sorted(os.listdir(base)):
+            subdir = os.path.join(base, sub)
+            # The memos store nests under the results tree; don't count its
+            # entries as results.
+            if not os.path.isdir(subdir) or (kind == "results" and sub == "memos"):
                 continue
             for name in sorted(os.listdir(subdir)):
                 if not name.endswith(".pkl"):
@@ -229,11 +295,14 @@ class CompileCache:
 
     def info(self) -> Dict[str, object]:
         entries = list(self._disk_entries())
+        memo_entries = list(self._disk_entries("memos"))
         return {
             "cache_dir": self.cache_dir,
             "schema_version": SCHEMA_VERSION,
             "disk_entries": len(entries),
             "disk_bytes": sum(size for _, size in entries),
+            "memo_entries": len(memo_entries),
+            "memo_bytes": sum(size for _, size in memo_entries),
             "memory_entries": len(self._mem),
             "memory_bytes": self._mem_bytes,
             "stats": self.stats.as_dict(),

@@ -8,6 +8,14 @@ without compiling at all; the rest fan out over ``concurrent.futures``
 that fails records its error string in its outcome — one infeasible
 tiling never aborts the other N-1.
 
+Requests that *do* compile start warm when the cache has a spilled memo
+snapshot for their program (keyed by program fingerprint): the snapshot is
+loaded into the presburger memo tables before compiling — in the worker
+process itself under the process pool — and the (now larger) hot set is
+spilled back afterwards.  Compiles are byte-deterministic, so entries
+produced by any process are interchangeable.  Set ``REPRO_MEMO_SPILL=0``
+to disable the round-trip.
+
 ``cached_optimize`` is the single-request convenience wrapper the CLI
 uses: a memoized drop-in for :func:`repro.core.optimize`.
 """
@@ -24,10 +32,70 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..ir import Program
 from . import instrument
 from .cache import CompileCache
-from .fingerprint import fingerprint_request
+from .fingerprint import fingerprint_program, fingerprint_request
 
 #: Dispatch strategies for :func:`compile_batch`.
 MODES = ("auto", "process", "thread", "serial")
+
+ENV_MEMO_SPILL = "REPRO_MEMO_SPILL"
+
+
+def memo_spill_enabled() -> bool:
+    """Whether memo snapshots round-trip through the disk cache."""
+    return os.environ.get(ENV_MEMO_SPILL, "1").lower() not in ("0", "false", "no")
+
+
+def _memo_dir(cache: Optional[CompileCache]) -> Optional[str]:
+    """The cache directory to spill memos through, or ``None`` when the
+    round-trip is off (no cache, memory-only cache, or env-disabled)."""
+    if cache is None or not cache.persistent or not memo_spill_enabled():
+        return None
+    return cache.cache_dir
+
+
+def load_program_memos(cache: CompileCache, program_fp: str) -> int:
+    """Warm this process's memo tables from the spilled snapshot for one
+    program; returns the number of entries installed."""
+    from ..presburger import memo
+
+    snap = cache.get_memos(program_fp)
+    if not snap:
+        return 0
+    loaded = memo.load_snapshot(snap)
+    if loaded:
+        instrument.count("driver.memo_entries_loaded", loaded)
+        instrument.count("driver.memo_warm_starts")
+    return loaded
+
+
+def spill_program_memos(cache: CompileCache, program_fp: str) -> None:
+    """Spill the spillable memo tables back to disk under ``program_fp``."""
+    from ..presburger import memo
+
+    snap = memo.snapshot()
+    if snap:
+        cache.put_memos(program_fp, snap)
+        instrument.count("driver.memo_spills")
+
+
+def _batch_program_fps(requests: Sequence["CompileRequest"]) -> List[str]:
+    return list(dict.fromkeys(fingerprint_program(r.program) for r in requests))
+
+
+def _load_batch_memos(requests, memo_dir: Optional[str]) -> None:
+    if memo_dir is None or not requests:
+        return
+    cache = CompileCache(cache_dir=memo_dir)
+    for fp in _batch_program_fps(requests):
+        load_program_memos(cache, fp)
+
+
+def _spill_batch_memos(requests, memo_dir: Optional[str]) -> None:
+    if memo_dir is None or not requests:
+        return
+    cache = CompileCache(cache_dir=memo_dir)
+    for fp in _batch_program_fps(requests):
+        spill_program_memos(cache, fp)
 
 
 @dataclass
@@ -88,9 +156,20 @@ def _run_request(request: CompileRequest) -> Tuple[Optional[object], Optional[st
 
 
 def _worker(payload: bytes) -> bytes:
-    """Process-pool entry point: pickled request in, pickled outcome out."""
-    request = pickle.loads(payload)
-    result, error = _run_request(request)
+    """Process-pool entry point: pickled ``(request, memo_dir)`` in,
+    pickled outcome out.  The worker is a fresh process with empty memo
+    tables — exactly where the disk spill pays off — so it loads its
+    program's snapshot itself and spills the result back."""
+    request, memo_dir = pickle.loads(payload)
+    if memo_dir is not None:
+        cache = CompileCache(cache_dir=memo_dir)
+        program_fp = fingerprint_program(request.program)
+        load_program_memos(cache, program_fp)
+        result, error = _run_request(request)
+        if error is None:
+            spill_program_memos(cache, program_fp)
+    else:
+        result, error = _run_request(request)
     return pickle.dumps((result, error))
 
 
@@ -99,18 +178,24 @@ def _default_workers(n_tasks: int) -> int:
 
 
 def _dispatch(
-    requests: List[CompileRequest], mode: str, max_workers: Optional[int]
+    requests: List[CompileRequest],
+    mode: str,
+    max_workers: Optional[int],
+    memo_dir: Optional[str] = None,
 ) -> List[Tuple[Optional[object], Optional[str]]]:
     """Compile ``requests`` (already deduplicated), preserving order."""
     if mode not in MODES:
         raise ValueError(f"unknown dispatch mode {mode!r}; expected one of {MODES}")
     if mode == "serial" or len(requests) <= 1:
-        return [_run_request(r) for r in requests]
+        _load_batch_memos(requests, memo_dir)
+        results = [_run_request(r) for r in requests]
+        _spill_batch_memos(requests, memo_dir)
+        return results
 
     workers = max_workers or _default_workers(len(requests))
     if mode in ("auto", "process"):
         try:
-            payloads = [pickle.dumps(r) for r in requests]
+            payloads = [pickle.dumps((r, memo_dir)) for r in requests]
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 raw = list(pool.map(_worker, payloads))
             return [pickle.loads(b) for b in raw]
@@ -119,13 +204,17 @@ def _dispatch(
                 raise
             # auto: an unpicklable program or a sandboxed interpreter
             # (no fork/semaphores) degrades to threads below.
+    # Threads share the process-wide memo tables: load once, spill once.
+    _load_batch_memos(requests, memo_dir)
     try:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_request, requests))
+            results = list(pool.map(_run_request, requests))
     except Exception:
         if mode == "thread":
             raise
-        return [_run_request(r) for r in requests]
+        results = [_run_request(r) for r in requests]
+    _spill_batch_memos(requests, memo_dir)
+    return results
 
 
 def compile_batch(
@@ -167,7 +256,7 @@ def compile_batch(
         compiled = dict(
             zip(
                 (r.fingerprint for r in to_compile),
-                _dispatch(to_compile, mode, max_workers),
+                _dispatch(to_compile, mode, max_workers, _memo_dir(cache)),
             )
         )
         elapsed = time.perf_counter() - t0
@@ -209,8 +298,14 @@ def cached_optimize(
     key = fingerprint_request(program, target, tile_sizes, startup)
     result = cache.get(key)
     if result is None:
+        spill = _memo_dir(cache) is not None
+        program_fp = fingerprint_program(program) if spill else None
+        if spill:
+            load_program_memos(cache, program_fp)
         result = optimize(
             program, target=target, tile_sizes=tile_sizes, startup=startup
         )
         cache.put(key, result)
+        if spill:
+            spill_program_memos(cache, program_fp)
     return result

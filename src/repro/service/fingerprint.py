@@ -26,7 +26,8 @@ from ..ir.tensor import Tensor
 from ..presburger import Set
 
 #: Bump on any change to the optimizer or to this serialization format.
-SCHEMA_VERSION = 2
+#: v3: byte-stable codegen (sorted FM elimination order) + memo spill store.
+SCHEMA_VERSION = 3
 
 _SALT = f"repro-compile-v{SCHEMA_VERSION}"
 

@@ -107,6 +107,14 @@ def test_cache_info_and_clear(cache_dir, capsys):
     out = capsys.readouterr().out
     assert str(cache_dir) in out
     assert "disk entries:   1" in out
+    assert "memo snapshots: 1" in out  # the compile spilled its memos
+    # Selective clear: drop the memo snapshots, keep the result.
+    assert main(["cache", "clear", "--what", "memos"]) == 0
+    assert "removed 1 memos entries" in capsys.readouterr().out
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "disk entries:   1" in out
+    assert "memo snapshots: 0" in out
     assert main(["cache", "clear"]) == 0
     assert "removed 1 entries" in capsys.readouterr().out
     assert main(["cache", "info"]) == 0

@@ -158,8 +158,10 @@ def test_cache_info_and_clear(tmp_path):
     info = cache.info()
     assert info["disk_entries"] == 1 and info["disk_bytes"] > 0
     assert info["memory_entries"] == 1
-    assert cache.clear() == 1
+    assert info["memo_entries"] == 1  # the compile spilled its memo tables
+    assert cache.clear() == 2  # the result entry plus the memo snapshot
     assert cache.info()["disk_entries"] == 0
+    assert cache.info()["memo_entries"] == 0
 
 
 # -- batch driver ----------------------------------------------------------

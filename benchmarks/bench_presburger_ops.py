@@ -17,6 +17,13 @@ produce), in two modes:
   entries.  The snapshot capture / pickle / reload costs are reported so
   the spill overhead can be weighed against the compile time it saves.
 
+A second part sweeps the buffer-promotion pass over every target
+(cpu/gpu/npu) and a grid of tile sizes on real pipelines, reporting the
+aggregate memo hit rate each target achieves — the promotion pass leans on
+the union-level relation memos (``umap_fix``, ``umap_image_of_point``,
+``uset_bounding_box``), so its hit rate is the end-to-end health check of
+the memo layer.
+
 Saves raw numbers to ``benchmarks/results/presburger_ops.json`` and exits
 non-zero if the memoized mode is not faster than the cold mode (the CI
 smoke job runs ``--quick``).
@@ -186,6 +193,70 @@ def run_bench(reps, size):
     return rows, raw
 
 
+PROMOTION_TARGETS = ("cpu", "gpu", "npu")
+PROMOTION_WORKLOADS = ("unsharp_mask", "harris")
+PROMOTION_TILE_SIZES = (8, 16, 32)
+PROMOTION_SIZE = 256
+
+
+def run_promotion_sweep(
+    workloads=PROMOTION_WORKLOADS, tile_sizes=PROMOTION_TILE_SIZES
+):
+    """The promotion pass swept across targets and tile sizes, cold per
+    target, reporting each target's aggregate memo hit rate."""
+    from repro.__main__ import _build_workload
+    from repro.codegen.promotion import promoted_buffers
+    from repro.core import optimize
+
+    rows, raw = [], {}
+    for target in PROMOTION_TARGETS:
+        memo.clear_all()
+        # Hit/miss counters are process-cumulative (clearing drops entries,
+        # not counts), so attribute per-target deltas against a baseline.
+        base = {
+            name: (v["hits"], v["misses"]) for name, v in memo.stats().items()
+        }
+        n_buffers = 0
+        t0 = time.perf_counter()
+        for name in workloads:
+            prog = _build_workload(name, PROMOTION_SIZE)
+            for s in tile_sizes:
+                res = optimize(prog, target=target, tile_sizes=(s, s))
+                n_buffers += sum(
+                    len(bufs) for bufs in promoted_buffers(res).values()
+                )
+        elapsed = time.perf_counter() - t0
+        tables = {}
+        for name, v in memo.stats().items():
+            bh, bm = base.get(name, (0, 0))
+            dh, dm = v["hits"] - bh, v["misses"] - bm
+            if dh or dm:
+                tables[name] = {"hits": dh, "misses": dm}
+        hits = sum(t["hits"] for t in tables.values())
+        misses = sum(t["misses"] for t in tables.values())
+        rate = hits / max(1, hits + misses)
+        raw[target] = {
+            "seconds": elapsed,
+            "buffers": n_buffers,
+            "memo_hits": hits,
+            "memo_misses": misses,
+            "hit_rate": rate,
+            "tables": tables,
+        }
+        rows.append(
+            [
+                target,
+                str(n_buffers),
+                f"{elapsed:.2f}",
+                str(hits),
+                str(misses),
+                f"{100 * rate:.1f}%",
+            ]
+        )
+    memo.clear_all()
+    return rows, raw
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -213,6 +284,20 @@ def main(argv=None):
         f"reload {spill['load_seconds'] * 1e3:.2f} ms, "
         f"{spill['warm_hits']} warm hits on replay"
     )
+
+    promo_workloads = (
+        PROMOTION_WORKLOADS[:1] if args.quick else PROMOTION_WORKLOADS
+    )
+    promo_sizes = (
+        PROMOTION_TILE_SIZES[:2] if args.quick else PROMOTION_TILE_SIZES
+    )
+    promo_rows, promo_raw = run_promotion_sweep(promo_workloads, promo_sizes)
+    print_table(
+        "Promotion pass across targets (cold per target)",
+        ["target", "buffers", "seconds", "memo hits", "misses", "hit rate"],
+        promo_rows,
+    )
+    raw["promotion_sweep"] = promo_raw
     save_results("presburger_ops", raw)
 
     total_cold = sum(raw["cold_seconds"].values())
@@ -239,12 +324,18 @@ def test_presburger_ops(benchmark):
         ["operation", "cold (s)", "memoized (s)", "warm-started (s)", "speedup"],
         rows,
     )
+    _, promo_raw = run_promotion_sweep(
+        PROMOTION_WORKLOADS[:1], PROMOTION_TILE_SIZES[:2]
+    )
+    raw["promotion_sweep"] = promo_raw
     save_results("presburger_ops", raw)
     assert sum(raw["memoized_seconds"].values()) < sum(
         raw["cold_seconds"].values()
     )
     assert raw["spill"]["entries_loaded"] > 0
     assert raw["spill"]["warm_hits"] > 0
+    for target, r in promo_raw.items():
+        assert r["hit_rate"] > 0, target
 
 
 if __name__ == "__main__":

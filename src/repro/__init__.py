@@ -8,10 +8,12 @@ for the tour.
 
 from .core import OptimizeResult, optimize
 from .ir import Program, ProgramBuilder, Tensor
+from .options import CompileOptions
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "CompileOptions",
     "OptimizeResult",
     "Program",
     "ProgramBuilder",

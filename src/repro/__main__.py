@@ -23,6 +23,7 @@ from typing import Optional
 from .codegen import print_tree
 from .core import optimize
 from .machine import analyze_optimized, analyze_scheduled, cpu_time, gpu_time
+from .options import CompileOptions
 from .pipelines import IMAGE_PIPELINES, conv2d, equake, polybench, resnet
 from .scheduler import HEURISTICS, SchedulerError, schedule_program
 
@@ -64,13 +65,12 @@ def cmd_optimize(args) -> int:
     prog = _build_workload(args.workload, args.size)
     tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
     cache = None if args.no_cache else default_cache()
+    options = CompileOptions(target=args.target, tile_sizes=tiles, cache=cache)
     with instrument.collect() as report:
         if cache is None:
-            result = optimize(prog, target=args.target, tile_sizes=tiles)
+            result = optimize(prog, options)
         else:
-            result = cached_optimize(
-                prog, target=args.target, tile_sizes=tiles, cache=cache
-            )
+            result = cached_optimize(prog, options=options)
     cached = cache is not None and cache.stats.hits > 0
     print(f"workload:     {prog.name} ({len(prog.statements)} statements)")
     print(f"target:       {result.target.name}, tile sizes {tiles}")
@@ -91,7 +91,7 @@ def cmd_optimize(args) -> int:
 def cmd_code(args) -> int:
     prog = _build_workload(args.workload, args.size)
     tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
-    result = optimize(prog, target=args.target, tile_sizes=tiles)
+    result = optimize(prog, CompileOptions(target=args.target, tile_sizes=tiles))
     style = "cuda" if args.target == "gpu" else "openmp"
     if args.target == "gpu":
         from .codegen.gpu_mapping import map_to_gpu
@@ -104,7 +104,7 @@ def cmd_code(args) -> int:
 def cmd_time(args) -> int:
     prog = _build_workload(args.workload, args.size)
     tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
-    result = optimize(prog, target=args.target, tile_sizes=tiles)
+    result = optimize(prog, CompileOptions(target=args.target, tile_sizes=tiles))
     work = analyze_optimized(result)
     rows = []
     if args.target == "gpu":
@@ -134,16 +134,17 @@ def cmd_tune(args) -> int:
 
     prog = _build_workload(args.workload, args.size)
     candidates = tuple(args.candidates) if args.candidates else (8, 32, 128)
-    mode = "auto" if args.jobs else "serial"
-    cache = None if args.no_cache else default_cache()
+    options = CompileOptions(
+        target=args.target,
+        mode="auto" if args.jobs else "serial",
+        jobs=args.jobs,
+        cache=None if args.no_cache else default_cache(),
+    )
     result = autotune_tile_sizes(
         prog,
-        target=args.target,
         threads=args.threads,
         candidates=candidates,
-        mode=mode,
-        jobs=args.jobs,
-        cache=cache,
+        options=options,
     )
     print(f"searched {len(result.evaluations)} tilings "
           f"in {result.tuning_seconds:.1f} s")

@@ -13,6 +13,7 @@ tiles (the stencil halo).
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir import Program
@@ -21,6 +22,55 @@ from ..scheduler import FusionGroup
 from ..service import instrument
 
 TILE_TUPLE = "_tile"
+
+#: Gate for the parametric-footprint engine: when enabled (the default),
+#: footprints requested with concrete integer tile sizes are computed once
+#: with *symbolic* sizes (Section V-A: tile-origin coordinates keep the
+#: containment constraints affine in a symbolic ``T``) and then specialized
+#: per size vector.  ``REPRO_PARAMETRIC_FP=0`` restores the per-candidate
+#: seed behavior — the autotune-parity CI job diffs the two.
+ENV_PARAMETRIC = "REPRO_PARAMETRIC_FP"
+
+
+def parametric_enabled() -> bool:
+    return os.environ.get(ENV_PARAMETRIC, "1").lower() not in ("0", "false", "no")
+
+
+def parametric_size_names(n: int) -> Tuple[str, ...]:
+    """Canonical symbolic tile-size parameter names (size-independent)."""
+    return tuple(f"_Tsz{d}" for d in range(n))
+
+
+def parametric_binding(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence,
+    tile_dims: Optional[Sequence[str]] = None,
+) -> Optional[Tuple[Tuple[str, ...], Dict[str, int]]]:
+    """``(names, {name: size})`` when the parametric engine applies.
+
+    Applies when the engine is enabled, every tile size is a concrete int
+    and the canonical symbolic names are fresh in the program (no clash
+    with statement dims/params, program params or the tile dims).  Returns
+    ``None`` otherwise, which keeps symbolic callers and exotic programs on
+    the direct path.
+    """
+    if not parametric_enabled():
+        return None
+    sizes = tuple(tile_sizes)
+    if not sizes or not all(type(s) is int for s in sizes):
+        return None
+    names = parametric_size_names(len(sizes))
+    taken = set(program.params)
+    if tile_dims:
+        taken.update(tile_dims)
+    for s in program.statement_names:
+        stmt = program.statement(s)
+        taken.update(stmt.dims)
+        taken.update(stmt.params)
+    if taken & set(names):
+        return None
+    return names, dict(zip(names, sizes))
 
 # The footprint relation is recomputed for every tile-size candidate the
 # autotuner probes and for every pass that needs it (cost model, promotion,
@@ -98,6 +148,11 @@ def tile_to_instances(
     cached = _T2I_MEMO.get(key)
     if cached is not memo.MISS:
         return cached
+    pb = parametric_binding(program, group, tile_sizes, tdims)
+    if pb is not None:
+        names, binding = pb
+        sym = tile_to_instances(program, group, names, tdims)
+        return _T2I_MEMO.put(key, sym.specialize(binding))
     size_params = tuple(
         s for s in tile_sizes if isinstance(s, str)
     )
@@ -158,6 +213,11 @@ def _tile_footprint(
     cached = _FOOTPRINT_MEMO.get(key)
     if cached is not memo.MISS:
         return cached
+    pb = parametric_binding(program, group, tile_sizes, tile_dims)
+    if pb is not None:
+        names, binding = pb
+        sym = _tile_footprint(program, group, names, tensors, tile_dims)
+        return _FOOTPRINT_MEMO.put(key, sym.specialize(binding))
     t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
     out: Dict[str, Map] = {}
     for s in group.statements:
@@ -280,6 +340,11 @@ def write_footprint(
     cached = _WRITE_FP_MEMO.get(key)
     if cached is not memo.MISS:
         return cached
+    pb = parametric_binding(program, group, tile_sizes, tile_dims)
+    if pb is not None:
+        names, binding = pb
+        sym = write_footprint(program, group, names, tensors, tile_dims)
+        return _WRITE_FP_MEMO.put(key, sym.specialize(binding))
     t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
     out: List[Map] = []
     for s in group.statements:

@@ -67,25 +67,51 @@ class OptimizeResult:
 
 def optimize(
     program: Program,
-    target: str | TargetSpec = "cpu",
+    target: "str | TargetSpec | CompileOptions" = "cpu",
     tile_sizes: Optional[Sequence[int]] = None,
     startup: str = SMARTFUSE,
+    options: "Optional[CompileOptions]" = None,
 ) -> OptimizeResult:
     """Run the paper's pass on ``program``.
+
+    Accepts a :class:`repro.CompileOptions` — either as ``options=`` or
+    positionally in place of ``target`` — or the legacy ``target``/
+    ``tile_sizes``/``startup`` keywords, which are normalized through the
+    same ``CompileOptions`` validation path.
 
     ``tile_sizes`` applies to the live-out computation spaces only — the
     pass derives every other space's tile shape from the upwards-exposed
     data, which is the point of the paper.  ``target`` selects how much
     parallelism must be preserved ("cpu": 1 dim, "gpu": 2 dims, "npu").
     """
-    spec = TARGETS[target] if isinstance(target, str) else target
+    from ..options import CompileOptions, _UNSET, resolve_options
+
+    if isinstance(target, CompileOptions):
+        if options is not None:
+            raise TypeError("options passed both positionally and by keyword")
+        options = target
+        target = "cpu"
+    opts = resolve_options(
+        options,
+        target=target if target != "cpu" else _UNSET,
+        tile_sizes=tile_sizes if tile_sizes is not None else _UNSET,
+        startup=startup if startup != SMARTFUSE else _UNSET,
+    )
+    spec = opts.target
     t0 = time.perf_counter()
     with instrument.span("startup_fusion"):
-        scheduled = schedule_program(program, startup)
+        scheduled = schedule_program(program, opts.startup)
     with instrument.span("tile_shapes"):
-        mixed = composite_tiling_fusion(program, scheduled, tile_sizes, spec)
+        mixed = composite_tiling_fusion(program, scheduled, opts.tile_sizes, spec)
     with instrument.span("post_fusion"):
         tree = apply_mixed_schedules(program, scheduled, mixed)
     elapsed = time.perf_counter() - t0
-    sizes = tuple(tile_sizes) if tile_sizes is not None else None
+    # Report the tile sizes the pass actually used: the first tiled
+    # live-out entry carries the effective (clipped or defaulted) vector,
+    # which differs from the caller's request when sizes were omitted
+    # (unit-tile fusion) or clipped to the band depth.
+    sizes = next(
+        (e.tile_sizes for e in mixed.tiling_entries() if e.tile_sizes is not None),
+        None,
+    )
     return OptimizeResult(program, spec, sizes, scheduled, mixed, tree, elapsed)

@@ -22,6 +22,7 @@ from .exposed import exposed_tensors
 from .footprint import (
     TILE_TUPLE,
     interior_tile_origin,
+    parametric_binding,
     tile_count,
     tile_dim_names,
     tile_footprint,
@@ -206,7 +207,17 @@ def _algorithm1(
     all_spaces = [liveout] + intermediates
     data = list(exposed_tensors(program, liveout, all_spaces))
     footprints: Dict[str, Map] = {}
-    fp = tile_footprint(program, liveout, sizes, data, tdims)
+    # Parametric engine: run the footprint/extension algebra once with
+    # symbolic tile sizes (size-independent memo keys shared by every
+    # autotune candidate) and specialize only where a *decision* needs
+    # concrete numbers or an entry leaves this pass.
+    pb = parametric_binding(program, liveout, sizes, tdims)
+    if pb is not None:
+        names, binding = pb
+        fp = tile_footprint(program, liveout, names, data, tdims)
+    else:
+        binding = None
+        fp = tile_footprint(program, liveout, sizes, data, tdims)
     for (_, tensor), m_ in fp.maps.items():
         footprints[tensor] = m_
 
@@ -236,6 +247,7 @@ def _algorithm1(
             n_tiles,
             target,
             budget,
+            binding,
         )
         if entry is None:
             untiled.append(space)
@@ -270,6 +282,7 @@ def _fuse_space(
     n_tiles: int,
     target: TargetSpec,
     budget: Dict[str, float],
+    binding: Optional[Mapping[str, int]] = None,
 ) -> Optional[ExtensionScheduleEntry]:
     """Lines 9-16: extension schedules for every statement of ``space``.
 
@@ -278,6 +291,11 @@ def _fuse_space(
     statements.  Returns None when the space writes nothing the tiles
     need (it then belongs to a later invocation of Algorithm 1) or when
     fusing would exceed the target's recomputation budget.
+
+    With a parametric ``binding`` the footprints (and everything derived
+    from them) carry symbolic tile-size parameters; the relation algebra
+    then memoizes size-independently, and only budget decisions and the
+    emitted extension relations are specialized to concrete sizes.
     """
     written = {
         program.statement(s).tensor_written() for s in space.statements
@@ -288,6 +306,9 @@ def _fuse_space(
     producers = {
         program.statement(s).tensor_written() for s in program.statement_names
     }
+
+    def _conc(m: Map) -> Map:
+        return m.specialize(binding) if binding else m
     # Work on a local copy: a rejected space must leave the footprint table
     # untouched, or its producers would be fused (and skipped) to serve a
     # consumer that still runs from its original, earlier position.
@@ -319,7 +340,7 @@ def _fuse_space(
         # blow past it.  Per cluster: accumulated recompute ops may not
         # exceed max_recompute_ratio of the cluster's genuine work, which
         # splits very deep stencil chains.
-        per_tile = _image_box_volume(ext, origin, program.params)
+        per_tile = _image_box_volume(_conc(ext), origin, program.params)
         domain_size = sum(
             piece.box_volume(program.params) for piece in stmt.domain.pieces
         )
@@ -352,7 +373,7 @@ def _fuse_space(
             if read_tensor not in producers:
                 continue
             extra = ext.apply_range(access)
-            if extra.is_empty():
+            if _conc(extra).is_empty():
                 continue
             if read_tensor in local:
                 prev = local[read_tensor]
@@ -375,7 +396,11 @@ def _fuse_space(
     budget["extra"] += space_extra
     budget["work"] += space_work
     budget["scratch"] += space_scratch
-    return ExtensionScheduleEntry(space, liveout, UnionMap(ext_maps))
+    # The emitted relation leaves this pass (post-fusion, cost model,
+    # promotion all consume it), so it is always concrete.
+    return ExtensionScheduleEntry(
+        space, liveout, UnionMap([_conc(m) for m in ext_maps])
+    )
 
 def _image_box_volume(
     ext: Map, origin: Mapping[str, int], params: Mapping[str, int]

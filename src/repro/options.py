@@ -1,0 +1,119 @@
+"""CompileOptions: one validated bundle for every compile entry point.
+
+``optimize``, ``cached_optimize``, ``compile_batch`` and
+``autotune_tile_sizes`` historically each grew their own ``target=`` /
+``tile_sizes=`` / ``mode=`` keyword spellings with slightly different
+validation (or none).  :class:`CompileOptions` is the single normalization
+path: construct it once, pass it everywhere, and every entry point sees the
+same resolved :class:`~repro.core.tile_shapes.TargetSpec`, coerced tile-size
+tuple and checked dispatch mode.  The legacy keywords remain as thin shims
+that build a ``CompileOptions`` internally, so existing callers keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Validated, immutable compile-time knobs.
+
+    ``target`` accepts a target name (``"cpu"``/``"gpu"``/``"npu"``) or a
+    :class:`~repro.core.tile_shapes.TargetSpec` and is normalized to the
+    spec.  ``tile_sizes`` applies to the live-out spaces only and is
+    coerced to a tuple of positive ints.  ``startup`` picks the start-up
+    fusion heuristic.  ``mode``/``jobs``/``cache`` configure the batch
+    driver: dispatch strategy, worker count and an optional
+    :class:`~repro.service.CompileCache`.
+    """
+
+    target: Union[str, object] = "cpu"
+    tile_sizes: Optional[Sequence[int]] = None
+    startup: str = "smartfuse"
+    mode: str = "auto"
+    jobs: Optional[int] = None
+    cache: Optional[object] = None
+
+    def __post_init__(self):
+        from .core.tile_shapes import TARGETS, TargetSpec
+        from .scheduler import HEURISTICS
+        from .service.driver import MODES
+
+        target = self.target
+        if isinstance(target, str):
+            if target not in TARGETS:
+                raise ValueError(
+                    f"unknown target {target!r}; choose from {tuple(TARGETS)}"
+                )
+            target = TARGETS[target]
+        elif not isinstance(target, TargetSpec):
+            raise TypeError(
+                f"target must be a target name or TargetSpec, got {target!r}"
+            )
+        object.__setattr__(self, "target", target)
+
+        if self.tile_sizes is not None:
+            sizes = tuple(int(s) for s in self.tile_sizes)
+            if not sizes or any(s <= 0 for s in sizes):
+                raise ValueError(
+                    f"tile_sizes must be positive ints, got {self.tile_sizes!r}"
+                )
+            object.__setattr__(self, "tile_sizes", sizes)
+
+        if self.startup not in HEURISTICS:
+            raise ValueError(
+                f"unknown startup heuristic {self.startup!r}; "
+                f"choose from {HEURISTICS}"
+            )
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown dispatch mode {self.mode!r}; choose from {MODES}"
+            )
+        if self.jobs is not None:
+            jobs = int(self.jobs)
+            if jobs < 1:
+                raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
+            object.__setattr__(self, "jobs", jobs)
+
+    @property
+    def target_name(self) -> str:
+        return self.target.name
+
+    def replace(self, **changes) -> "CompileOptions":
+        """A copy with the given fields changed (and re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_options(
+    options: Optional[CompileOptions] = None,
+    **legacy,
+) -> CompileOptions:
+    """The one legacy-keyword funnel shared by every entry point.
+
+    With ``options`` given, any explicitly-passed legacy keyword is an
+    error — mixing the two spellings silently prefers one and has bitten
+    every API that allowed it.  Without ``options``, the legacy keywords
+    (minus ``None`` placeholders for defaulted fields) build one.
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if options is not None:
+        if supplied:
+            raise TypeError(
+                "pass either options= or legacy keywords, not both: "
+                f"{sorted(supplied)}"
+            )
+        return options
+    return CompileOptions(**supplied)
+
+
+class _Unset:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<unset>"
+
+
+#: Sentinel distinguishing "keyword not passed" from an explicit ``None``.
+_UNSET = _Unset()

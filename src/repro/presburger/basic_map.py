@@ -14,6 +14,7 @@ _APPLY_MEMO = memo.table("apply_range", spillable=True)
 _INTERSECT_MEMO = memo.table("map_intersect")
 _REVERSE_MEMO = memo.table("map_reverse")
 _RENAME_MEMO = memo.table("map_rename")
+_SPECIALIZE_MEMO = memo.table("map_specialize", spillable=True)
 
 
 class BasicMap:
@@ -208,6 +209,31 @@ class BasicMap:
     def fix_params(self, binding: Mapping[str, int]) -> "BasicMap":
         binding = {k: v for k, v in binding.items() if k in self.space.params}
         return self.fix(binding)
+
+    def specialize(self, binding: Mapping[str, int]) -> "BasicMap":
+        """Exact, memoized substitution of integers for parameters
+        (see :meth:`BasicSet.specialize`)."""
+        binding = {
+            k: int(v) for k, v in binding.items() if k in self.space.params
+        }
+        if not binding:
+            return self
+        key = (self.space, self.constraints, tuple(sorted(binding.items())))
+        cached = _SPECIALIZE_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        params = tuple(p for p in self.space.params if p not in binding)
+        result = BasicMap(
+            MapSpace(
+                self.space.in_name,
+                self.space.in_dims,
+                self.space.out_name,
+                self.space.out_dims,
+                params,
+            ),
+            [c.substitute(binding) for c in self.constraints],
+        )
+        return _SPECIALIZE_MEMO.put(key, result)
 
     def rename_dims(self, mapping: Mapping[str, str]) -> "BasicMap":
         key = (self.space, self.constraints, tuple(sorted(mapping.items())))

@@ -22,6 +22,9 @@ _EMPTY_MEMO = memo.table("set_empty")
 _PROJECT_MEMO = memo.table("project_out")
 _SIMPLIFY_MEMO = memo.table("set_simplify")
 _BOX_MEMO = memo.table("bounding_box")
+# Specialization results are shared by every candidate of an autotune
+# sweep, so they spill through the disk cache like apply_range entries.
+_SPECIALIZE_MEMO = memo.table("set_specialize", spillable=True)
 
 
 class BasicSet:
@@ -143,6 +146,32 @@ class BasicSet:
     def fix_params(self, binding: Mapping[str, int]) -> "BasicSet":
         binding = {k: v for k, v in binding.items() if k in self.space.params}
         return self.fix(binding)
+
+    def specialize(self, binding: Mapping[str, int]) -> "BasicSet":
+        """Exact substitution of integer values for *parameters*.
+
+        Semantically identical to :meth:`fix_params`, but memoized under a
+        structural key: one parametric set specialized at many bindings
+        (the autotune sweep) pays the substitution once per binding and the
+        construction once overall.  Every constraint re-normalizes through
+        :meth:`Constraint.substitute`, so the result is the same object the
+        concrete pipeline would have built for unit-coefficient systems.
+        """
+        binding = {
+            k: int(v) for k, v in binding.items() if k in self.space.params
+        }
+        if not binding:
+            return self
+        key = (self.space, self.constraints, tuple(sorted(binding.items())))
+        cached = _SPECIALIZE_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        params = tuple(p for p in self.space.params if p not in binding)
+        result = BasicSet(
+            SetSpace(self.space.name, self.space.dims, params),
+            [c.substitute(binding) for c in self.constraints],
+        )
+        return _SPECIALIZE_MEMO.put(key, result)
 
     def rename_dims(self, mapping: Mapping[str, str]) -> "BasicSet":
         return BasicSet(

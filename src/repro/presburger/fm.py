@@ -29,10 +29,14 @@ from __future__ import annotations
 from math import ceil, floor, gcd
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from . import memo
 from .constraint import EQ, GE, Constraint
 from .linexpr import LinExpr
 from .symtab import sym_name
 from ..service import instrument
+
+_ELIM_MEMO = memo.table("fm_eliminate")
+_ELIM_BOUNDS_MEMO = memo.table("fm_eliminate_bounds")
 
 
 class FeasibilityUndecided(Exception):
@@ -143,9 +147,14 @@ def eliminate_symbols(
     constraints: Sequence[Constraint], syms: Sequence[str]
 ) -> List[Constraint]:
     instrument.count("presburger.fm_eliminate", len(syms))
+    key = (tuple(constraints), tuple(syms))
+    cached = _ELIM_MEMO.get(key)
+    if cached is not memo.MISS:
+        return list(cached)
     cur = list(constraints)
     for sym in syms:
         cur = eliminate_symbol(cur, sym)
+    _ELIM_MEMO.put(key, tuple(cur))
     return cur
 
 
@@ -161,11 +170,16 @@ def eliminate_symbols_for_bounds(
     the projected constraints become part of a set that user code sees.
     """
     instrument.count("presburger.fm_eliminate", len(syms))
+    key = (tuple(constraints), tuple(syms))
+    cached = _ELIM_BOUNDS_MEMO.get(key)
+    if cached is not memo.MISS:
+        return list(cached)
     cur = prune_implied_by_intervals(_dedupe(list(constraints)))
     for sym in syms:
         cur = eliminate_symbol(cur, sym)
         if len(cur) > 8:
             cur = prune_implied_by_intervals(cur)
+    _ELIM_BOUNDS_MEMO.put(key, tuple(cur))
     return cur
 
 

@@ -4,10 +4,19 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Sequence, Tuple
 
+from . import memo
 from .basic_map import BasicMap
 from .basic_set import BasicSet
 from .set_ import Set
 from .space import MapSpace, SetSpace
+
+# An autotune sweep re-specializes the same symbolic relations once per
+# candidate, and the cost/promotion passes probe the same concrete maps at
+# the same points repeatedly; both are pure, so cache at the union level.
+_SPECIALIZE_MEMO = memo.table("umap_specialize")
+_IMAGE_MEMO = memo.table("umap_image_of_point")
+_FIX_MEMO = memo.table("umap_fix")
+_APPLY_SET_MEMO = memo.table("umap_apply_to_set")
 
 
 class Map:
@@ -149,29 +158,74 @@ class Map:
         return Map(canon, aligned)
 
     def apply_to_set(self, s: Set) -> Set:
+        key = (
+            self.space,
+            tuple(p.constraints for p in self.pieces),
+            s.space,
+            tuple(p.constraints for p in s.pieces),
+        )
+        cached = _APPLY_SET_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
         pieces: List[BasicSet] = []
         for p in self.pieces:
             for b in s.pieces:
                 pieces.append(p.apply_to_set(b))
         params = tuple(dict.fromkeys(self.space.params + s.space.params))
         space = self.space.range_space.with_params(params)
-        return Set(space, [BasicSet(space.with_params(params), q.constraints) for q in pieces])
+        return _APPLY_SET_MEMO.put(
+            key,
+            Set(space, [BasicSet(space.with_params(params), q.constraints) for q in pieces]),
+        )
 
     def fix(self, binding: Mapping[str, int]) -> "Map":
+        key = (
+            self.space,
+            tuple(p.constraints for p in self.pieces),
+            tuple(sorted(binding.items())),
+        )
+        cached = _FIX_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
         pieces = [p.fix(binding) for p in self.pieces]
         if pieces:
-            return Map(pieces[0].space, pieces)
+            return _FIX_MEMO.put(key, Map(pieces[0].space, pieces))
         in_dims = tuple(d for d in self.space.in_dims if d not in binding)
         out_dims = tuple(d for d in self.space.out_dims if d not in binding)
         params = tuple(p for p in self.space.params if p not in binding)
-        return Map(
+        return _FIX_MEMO.put(key, Map(
             MapSpace(self.space.in_name, in_dims, self.space.out_name, out_dims, params),
             [],
-        )
+        ))
 
     def fix_params(self, binding: Mapping[str, int]) -> "Map":
         binding = {k: v for k, v in binding.items() if k in self.space.params}
         return self.fix(binding)
+
+    def specialize(self, binding: Mapping[str, int]) -> "Map":
+        """Exact, memoized substitution of integers for parameters, piece
+        by piece (see :meth:`BasicSet.specialize`)."""
+        params = tuple(p for p in self.space.params if p not in binding)
+        if len(params) == len(self.space.params):
+            return self
+        key = (
+            self.space,
+            tuple(p.constraints for p in self.pieces),
+            tuple(sorted(binding.items())),
+        )
+        cached = _SPECIALIZE_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        space = MapSpace(
+            self.space.in_name,
+            self.space.in_dims,
+            self.space.out_name,
+            self.space.out_dims,
+            params,
+        )
+        return _SPECIALIZE_MEMO.put(
+            key, Map(space, [p.specialize(binding) for p in self.pieces])
+        )
 
     def rename_dims(self, mapping: Mapping[str, str]) -> "Map":
         return Map(
@@ -200,11 +254,21 @@ class Map:
 
     def image_of_point(self, point: Mapping[str, int]) -> Set:
         """Set of out-points for a concrete in-point."""
+        key = (
+            self.space,
+            tuple(p.constraints for p in self.pieces),
+            tuple(sorted(point.items())),
+        )
+        cached = _IMAGE_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
         pieces = []
         for p in self.pieces:
             pieces.append(p.image_of_point(point))
         space = self.space.range_space
-        return Set(space, [BasicSet(space, q.constraints) for q in pieces])
+        return _IMAGE_MEMO.put(
+            key, Set(space, [BasicSet(space, q.constraints) for q in pieces])
+        )
 
     # -- value semantics ---------------------------------------------------
 

@@ -4,9 +4,27 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from . import memo
 from .basic_set import BasicSet
-from .constraint import Constraint
+from .constraint import EQ, Constraint
 from .space import SetSpace
+
+# Union-algebra memo tables (structural keys over piece-constraint tuples).
+# ``dedupe`` results are cheap to rebuild but hits return the *same* object,
+# which keeps downstream memo keys identical; ``pattern_hull`` and
+# ``coalesce`` replay rational-feasibility probes per call, so their entries
+# also spill through the disk cache.
+_DEDUPE_MEMO = memo.table("set_dedupe")
+_HULL_MEMO = memo.table("pattern_hull", spillable=True)
+_COALESCE_MEMO = memo.table("set_coalesce", spillable=True)
+_COUNT_MEMO = memo.table("count_points")
+_SPECIALIZE_MEMO = memo.table("uset_specialize")
+_BOX_MEMO = memo.table("uset_bounding_box")
+
+
+def _pieces_key(pieces: Sequence[BasicSet]) -> tuple:
+    """Structural key of a union's pieces (params may differ per piece)."""
+    return tuple((p.space.params, p.constraints) for p in pieces)
 
 
 class Set:
@@ -106,6 +124,10 @@ class Set:
 
     def dedupe(self) -> "Set":
         """Drop syntactically identical pieces (cheap, exact)."""
+        mkey = (self.space, _pieces_key(self.pieces))
+        cached = _DEDUPE_MEMO.get(mkey)
+        if cached is not memo.MISS:
+            return cached
         seen = set()
         out = []
         for p in self.pieces:
@@ -113,7 +135,7 @@ class Set:
             if key not in seen:
                 seen.add(key)
                 out.append(p)
-        return Set(self.space, out)
+        return _DEDUPE_MEMO.put(mkey, Set(self.space, out))
 
     def pattern_hull(self) -> "Set":
         """The *simple hull*: one piece over-approximating the union.
@@ -134,6 +156,10 @@ class Set:
         live = [p for p in self.pieces if not p.is_obviously_empty()]
         if len(live) <= 1:
             return Set(self.space, live)
+        mkey = (self.space, _pieces_key(live))
+        cached = _HULL_MEMO.get(mkey)
+        if cached is not memo.MISS:
+            return cached
 
         # Per piece: pattern -> effective (tightest) constant among that
         # piece's own constraints with this pattern (EQs contribute both
@@ -180,7 +206,7 @@ class Set:
                 const = max(t[key] for t in tables)  # weakest bound wins
                 cons.append(Constraint(LinExpr(dict(key), const), GE))
             out.append(BasicSet(self.space, cons))
-        return Set(self.space, out)
+        return _HULL_MEMO.put(mkey, Set(self.space, out))
 
     def coalesce(self) -> "Set":
         """Drop pieces contained in other pieces and provably empty pieces.
@@ -190,6 +216,10 @@ class Set:
         """
         from .fm import rational_feasible
 
+        mkey = (self.space, _pieces_key(self.pieces))
+        cached = _COALESCE_MEMO.get(mkey)
+        if cached is not memo.MISS:
+            return cached
         live = [
             p
             for p in self.dedupe().pieces
@@ -205,7 +235,9 @@ class Set:
                         continue
                     dropped[i] = True
                     break
-        return Set(self.space, [p for p, d in zip(live, dropped) if not d])
+        return _COALESCE_MEMO.put(
+            mkey, Set(self.space, [p for p, d in zip(live, dropped) if not d])
+        )
 
     def coalesce_exact(self) -> "Set":
         """Integer-exact coalescing (original semantics; O(n^2) searches)."""
@@ -239,6 +271,25 @@ class Set:
         binding = {k: v for k, v in binding.items() if k in self.space.params}
         return self.fix(binding)
 
+    def specialize(self, binding: Mapping[str, int]) -> "Set":
+        """Exact, memoized substitution of integers for parameters, piece
+        by piece (see :meth:`BasicSet.specialize`)."""
+        params = tuple(p for p in self.space.params if p not in binding)
+        if len(params) == len(self.space.params):
+            return self
+        key = (
+            self.space,
+            _pieces_key(self.pieces),
+            tuple(sorted(binding.items())),
+        )
+        cached = _SPECIALIZE_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        space = SetSpace(self.space.name, self.space.dims, params)
+        return _SPECIALIZE_MEMO.put(
+            key, Set(space, [p.specialize(binding) for p in self.pieces])
+        )
+
     def rename_dims(self, mapping: Mapping[str, str]) -> "Set":
         return Set(
             self.space.rename_dims(dict(mapping)),
@@ -257,11 +308,31 @@ class Set:
     # -- counting ----------------------------------------------------------
 
     def count_points(self, params: Mapping[str, int] | None = None) -> int:
-        from .enumerate import enumerate_set_points
+        binding = dict(params or {})
+        key = (
+            self.space,
+            _pieces_key(self.pieces),
+            tuple(sorted(binding.items())),
+        )
+        cached = _COUNT_MEMO.get(key)
+        if cached is not memo.MISS:
+            return cached
+        n = _count_boxes(self, binding)
+        if n is None:
+            from .enumerate import enumerate_set_points
 
-        return sum(1 for _ in enumerate_set_points(self, params or {}))
+            n = sum(1 for _ in enumerate_set_points(self, binding))
+        return _COUNT_MEMO.put(key, n)
 
     def bounding_box(self, params=None):
+        key = (
+            self.space,
+            _pieces_key(self.pieces),
+            None if params is None else tuple(sorted(params.items())),
+        )
+        cached = _BOX_MEMO.get(key)
+        if cached is not memo.MISS:
+            return dict(cached)  # callers may mutate their box
         box: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
         for p in self.pieces:
             for dim, (lo, hi) in p.bounding_box(params).items():
@@ -272,7 +343,8 @@ class Set:
                     lo = None if lo is None or olo is None else min(lo, olo)
                     hi = None if hi is None or ohi is None else max(hi, ohi)
                     box[dim] = (lo, hi)
-        return box
+        _BOX_MEMO.put(key, box)
+        return dict(box)
 
     # -- value semantics ---------------------------------------------------
 
@@ -295,6 +367,183 @@ class Set:
 
     def __len__(self):
         return len(self.pieces)
+
+
+def _box_intervals(
+    piece: BasicSet,
+) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Exact per-dimension integer intervals when ``piece`` is a product of
+    1-D sets — every constraint mentions at most one symbol — else None.
+
+    A returned interval with ``hi < lo`` marks an empty piece.  The product
+    of the interval extents is then the exact point count, because the
+    dimensions are independent and constraint normalization already
+    tightened each bound to an integer.
+    """
+    if piece.space.params:
+        return None
+    dims = piece.space.dims
+    lo: Dict[str, int] = {}
+    hi: Dict[str, int] = {}
+    empty = False
+    for c in piece.constraints:
+        coeffs = c.expr.coeffs
+        if not coeffs:
+            # Pure constants: the constructor drops trivially-true ones,
+            # so anything left is false.
+            empty = True
+            continue
+        if len(coeffs) > 1:
+            return None
+        ((sym, a),) = coeffs.items()
+        const = c.expr.const
+        if c.kind == EQ:
+            if (-const) % a != 0:
+                empty = True
+                continue
+            v = -const // a
+            lo[sym] = v if sym not in lo else max(lo[sym], v)
+            hi[sym] = v if sym not in hi else min(hi[sym], v)
+        elif a > 0:  # a*sym + const >= 0  ->  sym >= ceil(-const/a)
+            b = -(const // a)
+            lo[sym] = b if sym not in lo else max(lo[sym], b)
+        else:  # sym <= floor(const/-a)
+            b = const // (-a)
+            hi[sym] = b if sym not in hi else min(hi[sym], b)
+    if empty:
+        return {d: (0, -1) for d in dims} or {"": (0, -1)}
+    box: Dict[str, Tuple[int, int]] = {}
+    for d in dims:
+        if d not in lo or d not in hi:
+            return None  # unbounded: let enumeration raise as before
+        box[d] = (lo[d], hi[d])
+    return box
+
+
+def _box_count(box: Dict[str, Tuple[int, int]]) -> int:
+    total = 1
+    for lo, hi in box.values():
+        if hi < lo:
+            return 0
+        total *= hi - lo + 1
+    return total
+
+
+def _piece_count(piece: BasicSet) -> Optional[int]:
+    """Exact point count of one basic set, or None when full enumeration
+    would be just as cheap.
+
+    Boxes are counted by interval products.  Coupled pieces are split into
+    connected components of the constraint graph (dims linked by a shared
+    constraint); independent components multiply, so a strided footprint
+    like ``{[h,w,dh,dw] : lo <= 8h+dh <= hi, ...}`` enumerates two small
+    2-D components instead of their 4-D product.
+    """
+    if piece.space.params:
+        return None
+    box = _box_intervals(piece)
+    if box is not None:
+        return _box_count(box)
+    dims = piece.space.dims
+    parent = {d: d for d in dims}
+
+    def find(d: str) -> str:
+        while parent[d] != d:
+            parent[d] = parent[parent[d]]
+            d = parent[d]
+        return d
+
+    for c in piece.constraints:
+        syms = [x for x in c.expr.coeffs if x in parent]
+        for a, b in zip(syms, syms[1:]):
+            parent[find(a)] = find(b)
+    comps: Dict[str, List[str]] = {}
+    for d in dims:
+        comps.setdefault(find(d), []).append(d)
+    if len(comps) <= 1:
+        return None  # fully coupled: no decomposition win over enumeration
+    from .enumerate import EnumerationError, enumerate_points
+
+    total = 1
+    for comp in comps.values():
+        cset = set(comp)
+        ccons = []
+        for c in piece.constraints:
+            syms = set(c.expr.coeffs)
+            if not syms:
+                # Constant constraints survive normalisation only if false.
+                return 0
+            if syms <= cset:
+                ccons.append(c)
+        sub = BasicSet(SetSpace(piece.space.name, tuple(comp), ()), ccons)
+        try:
+            n = sum(1 for _ in enumerate_points(sub))
+        except EnumerationError:
+            return None  # unbounded: let the full fallback raise as before
+        if n == 0:
+            return 0
+        total *= n
+    return total
+
+
+def _count_boxes(s: "Set", binding: Mapping[str, int]) -> Optional[int]:
+    """Exact point count via interval arithmetic, or None to enumerate.
+
+    Handles the shapes that dominate the cost model: unions of axis-aligned
+    boxes, overlapping or not, and single coupled pieces that decompose
+    into independent components (see :func:`_piece_count`).  Overlapping
+    boxes are resolved exactly with a coordinate-compressed sweep (grid
+    cells induced by the box edges), so stencil footprints — many shifted
+    copies of one window — stay on the fast path.  Everything else falls
+    back to lexicographic enumeration (identical results, just slower).
+    """
+    pieces = [p.fix_params(binding) if binding else p for p in s.pieces]
+    if len(pieces) == 1:
+        n = _piece_count(pieces[0])
+        if n is not None:
+            return n
+    boxes = []
+    for p in pieces:
+        box = _box_intervals(p)
+        if box is None:
+            return None
+        if _box_count(box) > 0:
+            boxes.append(box)
+    if not boxes:
+        return 0
+    if len(boxes) == 1:
+        return _box_count(boxes[0])
+    dims = list(boxes[0])
+    if not dims:
+        return 1  # several non-empty zero-dim pieces: one point
+    # Cuts along each dim at every box edge (half-open [lo, hi+1)); each
+    # resulting grid cell is either fully inside or fully outside every box,
+    # so testing one representative point per cell is exact.
+    grids = {}
+    for d in dims:
+        cuts = set()
+        for b in boxes:
+            lo, hi = b[d]
+            cuts.add(lo)
+            cuts.add(hi + 1)
+        grids[d] = sorted(cuts)
+    total = 0
+
+    def walk(i: int, reps: Tuple[int, ...], cell: int) -> None:
+        nonlocal total
+        if i == len(dims):
+            if any(
+                all(b[d][0] <= r <= b[d][1] for d, r in zip(dims, reps))
+                for b in boxes
+            ):
+                total += cell
+            return
+        g = grids[dims[i]]
+        for lo, hi in zip(g, g[1:]):
+            walk(i + 1, reps + (lo,), cell * (hi - lo))
+
+    walk(0, (), 1)
+    return total
 
 
 def _reparam(pieces: Sequence[BasicSet], params: Tuple[str, ...]) -> List[BasicSet]:

@@ -121,6 +121,9 @@ class UnionSet:
     def fix_params(self, binding: Mapping[str, int]) -> "UnionSet":
         return UnionSet({n: s.fix_params(binding) for n, s in self.sets.items()})
 
+    def specialize(self, binding: Mapping[str, int]) -> "UnionSet":
+        return UnionSet({n: s.specialize(binding) for n, s in self.sets.items()})
+
     def count_points(self, params=None) -> int:
         return sum(s.count_points(params) for s in self.sets.values())
 
@@ -302,6 +305,9 @@ class UnionMap:
 
     def fix_params(self, binding: Mapping[str, int]) -> "UnionMap":
         return UnionMap({k: m.fix_params(binding) for k, m in self.maps.items()})
+
+    def specialize(self, binding: Mapping[str, int]) -> "UnionMap":
+        return UnionMap({k: m.specialize(binding) for k, m in self.maps.items()})
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, UnionMap):

@@ -45,6 +45,7 @@ def autotune_tile_sizes(
     mode: str = "serial",
     jobs: Optional[int] = None,
     cache=None,
+    options=None,
 ) -> TuneResult:
     """Exhaustive search over live-out tile sizes against the cost model.
 
@@ -58,10 +59,28 @@ def autotune_tile_sizes(
     (a :class:`repro.service.CompileCache`) reuses compile results across
     candidates, runs and processes.  The cost model is deterministic, so
     every mode returns bit-identical ``best_sizes``/``best_time``.
+
+    A :class:`repro.CompileOptions` supplies ``target``/``startup``/
+    ``mode``/``jobs``/``cache`` in one validated bundle (its
+    ``tile_sizes`` field is ignored — tile sizes are what is being
+    searched); the legacy keywords funnel through the same validation.
     """
     from ..machine import analyze_optimized, cpu_time, gpu_time
+    from ..options import _UNSET, resolve_options
     from ..service import instrument
     from ..service.driver import CompileRequest, compile_batch
+
+    opts = resolve_options(
+        options,
+        target=target if target != "cpu" else _UNSET,
+        mode=mode if mode != "serial" else _UNSET,
+        jobs=jobs if jobs is not None else _UNSET,
+        cache=cache if cache is not None else _UNSET,
+    )
+    if options is None and mode == "serial":
+        # The legacy default here is "serial", not CompileOptions' "auto".
+        opts = opts.replace(mode="serial")
+    spec = opts.target
 
     if max_extent is None:
         first = program.tensors[program.liveout[0]]
@@ -74,10 +93,14 @@ def autotune_tile_sizes(
     )
     with instrument.span("autotune"):
         requests = [
-            CompileRequest(program, target=target, tile_sizes=sizes)
+            CompileRequest(
+                program, target=spec, tile_sizes=sizes, startup=opts.startup
+            )
             for sizes in combos
         ]
-        outcomes = compile_batch(requests, mode=mode, max_workers=jobs, cache=cache)
+        outcomes = compile_batch(
+            requests, mode=opts.mode, max_workers=opts.jobs, cache=opts.cache
+        )
         for sizes, outcome in zip(combos, outcomes):
             if outcome.error is not None:
                 # Infeasible tiling (tiny domains etc.).
@@ -85,7 +108,11 @@ def autotune_tile_sizes(
                 continue
             try:
                 work = analyze_optimized(outcome.result)
-                t = gpu_time(work) if target == "gpu" else cpu_time(work, threads)
+                t = (
+                    gpu_time(work)
+                    if spec.name == "gpu"
+                    else cpu_time(work, threads)
+                )
             except Exception as exc:
                 result.failures[sizes] = f"{type(exc).__name__}: {exc}"
                 continue

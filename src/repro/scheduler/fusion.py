@@ -25,10 +25,16 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..deps import Dependence, memory_deps
 from ..ir import Program
-from ..presburger import LinExpr
+from ..presburger import LinExpr, memo
 from ..schedule import DomainNode
 from .parallelism import band_attributes, fusion_preserves_parallelism, required_shifts
 from .stages import FusionGroup, groups_tree, identity_rows
+
+# Start-up fusion depends only on the program and the heuristic — never on
+# tile sizes or the target — so one analysis serves a whole autotune sweep.
+# Only the (deps, groups) analysis is cached: the schedule tree is rebuilt
+# per call because post-tiling fusion rewrites it in place.
+_STARTUP_MEMO = memo.table("startup_schedule")
 
 MINFUSE = "minfuse"
 SMARTFUSE = "smartfuse"
@@ -64,15 +70,23 @@ def schedule_program(program: Program, heuristic: str = SMARTFUSE) -> Scheduled:
     """Apply a start-up fusion heuristic and build the schedule tree."""
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; choose from {HEURISTICS}")
-    deps = memory_deps(program)
-    if heuristic == MINFUSE:
-        groups = _minfuse(program, deps)
-    elif heuristic == SMARTFUSE:
-        groups = _smartfuse(program, deps)
-    elif heuristic == MAXFUSE:
-        groups = _maxfuse(program, deps)
+    from ..service.fingerprint import fingerprint_program
+
+    key = (fingerprint_program(program), heuristic)
+    cached = _STARTUP_MEMO.get(key)
+    if cached is not memo.MISS:
+        deps, groups = cached
     else:
-        groups = _hybridfuse(program, deps)
+        deps = memory_deps(program)
+        if heuristic == MINFUSE:
+            groups = _minfuse(program, deps)
+        elif heuristic == SMARTFUSE:
+            groups = _smartfuse(program, deps)
+        elif heuristic == MAXFUSE:
+            groups = _maxfuse(program, deps)
+        else:
+            groups = _hybridfuse(program, deps)
+        _STARTUP_MEMO.put(key, (deps, groups))
     tree = groups_tree(program, groups)
     return Scheduled(
         program, heuristic, groups, deps, tree, hybrid_inner=heuristic == HYBRIDFUSE

@@ -222,13 +222,27 @@ def compile_batch(
     mode: str = "auto",
     max_workers: Optional[int] = None,
     cache: Optional[CompileCache] = None,
+    options=None,
 ) -> List[CompileOutcome]:
     """Compile many requests; one outcome per request, same order.
 
     Identical fingerprints are compiled once and the result fanned back
     out.  With a ``cache``, warm fingerprints skip compilation entirely
     and fresh results are stored for the next batch (or process).
+
+    A :class:`repro.CompileOptions` supplies ``mode``/``jobs``/``cache``
+    in one validated bundle; the legacy keywords funnel through the same
+    validation.
     """
+    from ..options import _UNSET, resolve_options
+
+    opts = resolve_options(
+        options,
+        mode=mode if mode != "auto" else _UNSET,
+        jobs=max_workers if max_workers is not None else _UNSET,
+        cache=cache if cache is not None else _UNSET,
+    )
+    mode, max_workers, cache = opts.mode, opts.jobs, opts.cache
     with instrument.span("compile_batch"):
         outcomes: List[CompileOutcome] = [
             CompileOutcome(request=r, fingerprint=r.fingerprint) for r in requests
@@ -284,27 +298,35 @@ def cached_optimize(
     tile_sizes: Optional[Sequence[int]] = None,
     startup: str = "smartfuse",
     cache: Optional[CompileCache] = None,
+    options=None,
 ):
     """Memoized :func:`repro.core.optimize`.
 
     Uses the process-wide default cache when none is given; raises
-    exactly what ``optimize`` would raise on failure.
+    exactly what ``optimize`` would raise on failure.  Accepts a
+    :class:`repro.CompileOptions` (``target``/``tile_sizes``/``startup``/
+    ``cache``) or the legacy keywords, normalized the same way.
     """
     from ..core import optimize
+    from ..options import _UNSET, resolve_options
     from .cache import default_cache
 
-    if cache is None:
-        cache = default_cache()
-    key = fingerprint_request(program, target, tile_sizes, startup)
+    opts = resolve_options(
+        options,
+        target=target if target != "cpu" else _UNSET,
+        tile_sizes=tile_sizes if tile_sizes is not None else _UNSET,
+        startup=startup if startup != "smartfuse" else _UNSET,
+        cache=cache if cache is not None else _UNSET,
+    )
+    cache = opts.cache if opts.cache is not None else default_cache()
+    key = fingerprint_request(program, opts.target, opts.tile_sizes, opts.startup)
     result = cache.get(key)
     if result is None:
         spill = _memo_dir(cache) is not None
         program_fp = fingerprint_program(program) if spill else None
         if spill:
             load_program_memos(cache, program_fp)
-        result = optimize(
-            program, target=target, tile_sizes=tile_sizes, startup=startup
-        )
+        result = optimize(program, options=opts.replace(cache=None))
         cache.put(key, result)
         if spill:
             spill_program_memos(cache, program_fp)

@@ -27,7 +27,9 @@ from ..presburger import Set
 
 #: Bump on any change to the optimizer or to this serialization format.
 #: v3: byte-stable codegen (sorted FM elimination order) + memo spill store.
-SCHEMA_VERSION = 3
+#: v4: OptimizeResult.tile_sizes now reports the effective (clipped or
+#: defaulted) sizes, so v3 cached results deserialize with stale fields.
+SCHEMA_VERSION = 4
 
 _SALT = f"repro-compile-v{SCHEMA_VERSION}"
 

@@ -179,7 +179,7 @@ def test_compile_batch_dedupes_and_isolates_errors():
     assert len(outcomes) == 4
     assert outcomes[0].fingerprint == outcomes[1].fingerprint
     assert outcomes[0].ok and outcomes[1].ok and outcomes[2].ok
-    assert not outcomes[3].ok and "KeyError" in outcomes[3].error
+    assert not outcomes[3].ok and "unknown target 'bogus'" in outcomes[3].error
     assert outcomes[0].result.fusion_summary() == outcomes[1].result.fusion_summary()
 
 
@@ -258,6 +258,11 @@ def test_autotune_warm_cache_reuses_results(tmp_path):
 
 
 def test_instrument_collects_pass_spans_and_counters():
+    from repro.presburger import memo
+
+    # The counters below measure a cold compile; operation memos warmed by
+    # earlier tests would otherwise absorb the FM work this test asserts on.
+    memo.clear_all()
     p = build_conv()
     with instrument.collect() as report:
         optimize(p, "cpu", (16, 16))

@@ -1,0 +1,161 @@
+"""No-listener overhead of the observability layer.
+
+The pipeline is instrumented at every pass boundary and in the presburger
+hot loops, so the disabled path (no ``collect()`` active) must be
+near-free.  Measuring that directly with A/B wall-clock is hopeless — the
+effect is inside timer noise — so this benchmark bounds it analytically:
+
+1. compile a workload cold and time it (``T``);
+2. compile it again under a counting collector to learn exactly how many
+   ``span()`` / ``count()`` / ``observe()`` calls that compile performs;
+3. microbenchmark the *no-op* cost of each call (no collector active);
+4. assert ``(n_span * c_span + n_count * c_count + n_observe * c_observe)
+   / T < 2%``.
+
+Saves ``benchmarks/results/obs_overhead.json``; exits non-zero when the
+bound is violated.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from common import save_results
+from repro.core import optimize
+from repro.presburger import memo
+from repro.service import instrument
+
+#: The budget the instrumentation must stay under on a cold compile.
+OVERHEAD_BUDGET = 0.02
+
+
+class CallCounter(instrument.CompileReport):
+    """A report that counts instrumentation *calls* instead of contents."""
+
+    def __init__(self):
+        super().__init__()
+        self.n_spans = 0
+        self.n_counts = 0
+        self.n_observes = 0
+
+    def add_span(self, name, seconds):
+        self.n_spans += 1
+        super().add_span(name, seconds)
+
+    def add_count(self, name, n=1):
+        self.n_counts += 1
+        super().add_count(name, n)
+
+    def observe(self, name, value, buckets=()):
+        self.n_observes += 1
+
+
+def noop_cost(fn, iters):
+    """Per-call seconds of ``fn`` when no collector is listening."""
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters
+
+
+def _span_noop():
+    with instrument.span("bench_overhead"):
+        pass
+
+
+def _count_noop():
+    instrument.count("bench_overhead")
+
+
+def _observe_noop():
+    instrument.observe("bench_overhead", 3)
+
+
+def run_bench(workload: str, size: int, iters: int):
+    from repro.__main__ import _build_workload, _default_tiles
+
+    assert not instrument.active(), "benchmark needs the disabled path"
+    prog = _build_workload(workload, size)
+    tiles = _default_tiles(workload)
+
+    memo.clear_all()
+    t0 = time.perf_counter()
+    optimize(prog, tile_sizes=tiles)
+    compile_seconds = time.perf_counter() - t0
+
+    memo.clear_all()
+    counter = CallCounter()
+    with instrument.collect(report=counter):
+        optimize(prog, tile_sizes=tiles)
+
+    c_span = noop_cost(_span_noop, iters)
+    c_count = noop_cost(_count_noop, iters)
+    c_observe = noop_cost(_observe_noop, iters)
+
+    est = (
+        counter.n_spans * c_span
+        + counter.n_counts * c_count
+        + counter.n_observes * c_observe
+    )
+    ratio = est / compile_seconds
+    return {
+        "workload": workload,
+        "size": size,
+        "compile_seconds": compile_seconds,
+        "span_calls": counter.n_spans,
+        "count_calls": counter.n_counts,
+        "observe_calls": counter.n_observes,
+        "span_noop_ns": c_span * 1e9,
+        "count_noop_ns": c_count * 1e9,
+        "observe_noop_ns": c_observe * 1e9,
+        "estimated_overhead_seconds": est,
+        "overhead_ratio": ratio,
+        "budget": OVERHEAD_BUDGET,
+    }
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workload", default="local_laplacian")
+    ap.add_argument("--size", type=int, default=None)
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller image, fewer microbenchmark iterations",
+    )
+    args = ap.parse_args(argv)
+    size = args.size or (128 if args.quick else 512)
+    iters = 50_000 if args.quick else 500_000
+
+    raw = run_bench(args.workload, size, iters)
+    save_results("obs_overhead", raw)
+    print(
+        f"{raw['workload']} (size {size}): cold compile "
+        f"{raw['compile_seconds'] * 1e3:.1f} ms; "
+        f"{raw['span_calls']} spans, {raw['count_calls']} counts, "
+        f"{raw['observe_calls']} observes"
+    )
+    print(
+        f"no-op costs: span {raw['span_noop_ns']:.0f} ns, "
+        f"count {raw['count_noop_ns']:.0f} ns, "
+        f"observe {raw['observe_noop_ns']:.0f} ns"
+    )
+    pct = raw["overhead_ratio"] * 100
+    if raw["overhead_ratio"] >= OVERHEAD_BUDGET:
+        print(f"FAIL: estimated disabled-path overhead {pct:.3f}% >= 2%")
+        return 1
+    print(f"ok: estimated disabled-path overhead {pct:.3f}% < 2%")
+    return 0
+
+
+def test_obs_overhead():
+    raw = run_bench("local_laplacian", 128, 50_000)
+    save_results("obs_overhead", raw)
+    assert raw["overhead_ratio"] < OVERHEAD_BUDGET, raw
+
+
+if __name__ == "__main__":
+    sys.exit(main())

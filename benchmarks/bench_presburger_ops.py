@@ -37,7 +37,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from common import print_table, save_results
+from common import print_table, save_perf_snapshot, save_results
 from repro.presburger import BasicMap, Constraint, LinExpr, MapSpace, memo
 
 V = LinExpr.var
@@ -257,6 +257,26 @@ def run_promotion_sweep(
     return rows, raw
 
 
+def perf_gauges(raw):
+    """Flatten the raw results into per-rep gauges for the regression gate.
+
+    Per-rep normalisation keeps snapshots comparable across ``--reps``
+    choices; the gate still assumes matching ``--size``.
+    """
+    reps = max(1, raw["reps"])
+    gauges = {}
+    for op, s in raw["cold_seconds"].items():
+        gauges[f"presburger.cold.{op}"] = s / reps
+    for op, s in raw["memoized_seconds"].items():
+        gauges[f"presburger.memoized.{op}"] = s / reps
+    spill = raw["spill"]
+    gauges["presburger.spill.snapshot"] = spill["snapshot_seconds"]
+    gauges["presburger.spill.load"] = spill["load_seconds"]
+    for target, r in raw.get("promotion_sweep", {}).items():
+        gauges[f"promotion.{target}.seconds"] = r["seconds"]
+    return gauges
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -299,6 +319,14 @@ def main(argv=None):
     )
     raw["promotion_sweep"] = promo_raw
     save_results("presburger_ops", raw)
+    path = save_perf_snapshot(
+        "perf_current",
+        perf_gauges(raw),
+        benchmark="presburger_ops",
+        reps=reps,
+        size=size,
+    )
+    print(f"perf snapshot: {path}")
 
     total_cold = sum(raw["cold_seconds"].values())
     total_warm = sum(raw["memoized_seconds"].values())

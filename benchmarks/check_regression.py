@@ -1,0 +1,185 @@
+"""Perf-regression gate: compare two ``repro-metrics/1`` snapshots.
+
+Benchmarks write their timings as gauge metrics into
+``benchmarks/results/perf_current.json`` (see ``save_perf_snapshot`` in
+``common.py``); a blessed run is committed as
+``benchmarks/results/perf_baseline.json``.  This script compares the two
+and fails (exit 1) when any timing gauge regressed beyond its tolerance::
+
+    python benchmarks/check_regression.py                    # default paths
+    python benchmarks/check_regression.py --tolerance 1.5
+    python benchmarks/check_regression.py --report-only      # never fail
+    python benchmarks/check_regression.py \
+        --metric-tolerance presburger.cold.apply_range=2.0
+
+Rules:
+
+* only gauges are compared (counters count events, not time);
+* a gauge present in one snapshot only is reported but never fails the
+  gate (benchmarks evolve);
+* baselines below ``--min-seconds`` are noise: timer jitter at the
+  sub-millisecond scale produces huge ratios that mean nothing;
+* ``--tolerance`` is a ratio — 1.5 means "fail when current > 1.5x
+  baseline"; per-metric overrides win over the global value.
+
+Exit status: 0 ok (or ``--report-only``), 1 regression, 2 usage or
+snapshot-format error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import validate_metrics_snapshot
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+DEFAULT_BASELINE = os.path.join(RESULTS_DIR, "perf_baseline.json")
+DEFAULT_CURRENT = os.path.join(RESULTS_DIR, "perf_current.json")
+
+
+def load_snapshot(path: str):
+    """Parse and validate one snapshot; raises ValueError with a message."""
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except OSError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not JSON: {exc}") from exc
+    errors = validate_metrics_snapshot(snap)
+    if errors:
+        raise ValueError("; ".join(f"{path}: {e}" for e in errors))
+    return snap
+
+
+def parse_overrides(pairs):
+    """``name=ratio`` strings to a dict; raises ValueError on bad input."""
+    out = {}
+    for pair in pairs or ():
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(f"bad --metric-tolerance {pair!r}; want name=ratio")
+        try:
+            ratio = float(value)
+        except ValueError as exc:
+            raise ValueError(f"bad ratio in {pair!r}") from exc
+        if ratio <= 0:
+            raise ValueError(f"tolerance must be positive in {pair!r}")
+        out[name] = ratio
+    return out
+
+
+def compare(
+    baseline,
+    current,
+    tolerance: float = 1.5,
+    min_seconds: float = 0.001,
+    overrides=None,
+):
+    """Compare two snapshots' gauges.
+
+    Returns ``(regressions, report_lines)`` where ``regressions`` lists
+    the metric names that exceeded their tolerance.
+    """
+    overrides = overrides or {}
+    base_g = baseline.get("gauges", {})
+    cur_g = current.get("gauges", {})
+    regressions = []
+    lines = []
+    for name in sorted(set(base_g) | set(cur_g)):
+        b, c = base_g.get(name), cur_g.get(name)
+        if b is None:
+            lines.append(f"  new       {name}: {c:.6f}")
+            continue
+        if c is None:
+            lines.append(f"  removed   {name}: was {b:.6f}")
+            continue
+        limit = overrides.get(name, tolerance)
+        if b < min_seconds:
+            lines.append(
+                f"  noise     {name}: {b:.6f} -> {c:.6f} "
+                f"(baseline under {min_seconds}s floor)"
+            )
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        if ratio > limit:
+            regressions.append(name)
+            lines.append(
+                f"  REGRESSED {name}: {b:.6f} -> {c:.6f} "
+                f"({ratio:.2f}x > {limit:.2f}x allowed)"
+            )
+        else:
+            lines.append(f"  ok        {name}: {b:.6f} -> {c:.6f} ({ratio:.2f}x)")
+    return regressions, lines
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Fail when benchmark gauges regress against the baseline."
+    )
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--current", default=DEFAULT_CURRENT)
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="global allowed current/baseline ratio (default 1.5)",
+    )
+    ap.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.001,
+        help="ignore gauges whose baseline is below this noise floor",
+    )
+    ap.add_argument(
+        "--metric-tolerance",
+        action="append",
+        metavar="NAME=RATIO",
+        help="per-metric tolerance override (repeatable)",
+    )
+    ap.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0",
+    )
+    args = ap.parse_args(argv)
+    if args.tolerance <= 0:
+        print("--tolerance must be positive", file=sys.stderr)
+        return 2
+
+    try:
+        overrides = parse_overrides(args.metric_tolerance)
+        baseline = load_snapshot(args.baseline)
+        current = load_snapshot(args.current)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    regressions, lines = compare(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        min_seconds=args.min_seconds,
+        overrides=overrides,
+    )
+    print(f"baseline: {args.baseline}")
+    print(f"current:  {args.current}")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s): {', '.join(regressions)}"
+            + (" [report-only]" if args.report_only else "")
+        )
+        return 0 if args.report_only else 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

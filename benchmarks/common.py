@@ -117,3 +117,20 @@ def save_results(name: str, data) -> str:
     with open(path, "w") as f:
         json.dump(data, f, indent=2, sort_keys=True)
     return path
+
+
+def save_perf_snapshot(name: str, gauges: Dict[str, float], **meta) -> str:
+    """Write a ``repro-metrics/1`` snapshot of benchmark timings.
+
+    ``gauges`` maps metric names to seconds (or other numeric readings);
+    the result is what ``benchmarks/check_regression.py`` and ``repro
+    stats diff`` consume.  The snapshot lands in
+    ``benchmarks/results/<name>.json``.
+    """
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for metric, value in gauges.items():
+        reg.set_gauge(metric, value)
+    reg.meta.update(meta)
+    return save_results(name, reg.snapshot())

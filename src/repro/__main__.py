@@ -10,6 +10,13 @@ Subcommands:
   PPCG fusion heuristics on the modeled machines;
 * ``tune <workload>`` — tile-size auto-tuning against the machine model
   (``--jobs N`` fans candidates out over the batch-compile driver);
+* ``trace <workload> -o trace.json`` — compile under a tracing collector
+  and export the hierarchical span events as Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``) or JSONL;
+* ``profile <workload>`` — the same compile, rendered as a span tree with
+  self/total time per pass;
+* ``stats diff A.json B.json`` — compare two metric snapshots
+  (``repro-metrics/1``) and print what changed;
 * ``cache info`` / ``cache clear`` — inspect or empty the on-disk compile
   cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``).
 """
@@ -60,13 +67,14 @@ def cmd_list(_args) -> int:
 
 
 def cmd_optimize(args) -> int:
+    from .obs import write_trace
     from .service import cached_optimize, default_cache, instrument
 
     prog = _build_workload(args.workload, args.size)
     tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
     cache = None if args.no_cache else default_cache()
     options = CompileOptions(target=args.target, tile_sizes=tiles, cache=cache)
-    with instrument.collect() as report:
+    with instrument.collect(trace=bool(args.trace)) as report:
         if cache is None:
             result = optimize(prog, options)
         else:
@@ -77,6 +85,9 @@ def cmd_optimize(args) -> int:
     print(f"compile time: {result.compile_seconds * 1e3:.1f} ms"
           + (" (served from cache)" if cached else ""))
     print(f"fusion:       {result.fusion_summary()}")
+    if args.trace:
+        write_trace(report, args.trace)
+        print(f"trace:        {args.trace} ({len(report.events)} spans)")
     if args.stats:
         if cache is not None:
             report.merge_cache_stats(cache.stats.as_dict())
@@ -85,6 +96,86 @@ def cmd_optimize(args) -> int:
     if args.tree:
         print()
         print(result.tree.pretty())
+    return 0
+
+
+def _traced_compile(args):
+    """One full cold compile (optimize + codegen) under a tracing collector.
+
+    Returns ``(program, report, wall_seconds)``.  The compile cache is
+    bypassed on purpose: a trace of a cache hit shows nothing.
+    """
+    from time import perf_counter
+
+    from .obs import collect, span
+
+    prog = _build_workload(args.workload, args.size)
+    tiles = tuple(args.tile) if args.tile else _default_tiles(args.workload)
+    style = "cuda" if args.target == "gpu" else "openmp"
+    t0 = perf_counter()
+    with collect(trace=True) as report:
+        with span("compile", workload=args.workload, target=args.target):
+            result = optimize(
+                prog, CompileOptions(target=args.target, tile_sizes=tiles)
+            )
+            if args.target == "gpu":
+                from .codegen.gpu_mapping import map_to_gpu
+
+                map_to_gpu(result)
+            with span("codegen"):
+                print_tree(result.tree, prog, style=style)
+    return prog, report, perf_counter() - t0
+
+
+def cmd_trace(args) -> int:
+    from .obs import chrome_trace, trace_nesting_depth, write_trace
+
+    prog, report, wall = _traced_compile(args)
+    write_trace(report, args.output, format=args.format)
+    depth = (
+        trace_nesting_depth(chrome_trace(report))
+        if args.format == "chrome"
+        else "-"
+    )
+    dropped = f", {report.dropped_events} dropped" if report.dropped_events else ""
+    print(
+        f"{prog.name}: {len(report.events)} spans{dropped} "
+        f"(nesting depth {depth}) in {wall * 1e3:.1f} ms -> {args.output}"
+    )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .obs import format_profile, profile_tree
+
+    prog, report, wall = _traced_compile(args)
+    roots = profile_tree(report)
+    print(f"{prog.name} compile profile ({args.target}):")
+    print(
+        format_profile(
+            roots, top=args.top, max_depth=args.depth, wall_seconds=wall
+        )
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from .obs import diff_snapshots, format_diff, validate_metrics_snapshot
+
+    snaps = []
+    for path in (args.a, args.b):
+        with open(path) as f:
+            snap = json.load(f)
+        errors = validate_metrics_snapshot(snap)
+        if errors:
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+            return 2
+        snaps.append(snap)
+    deltas = diff_snapshots(snaps[0], snaps[1])
+    print(format_diff(deltas, only_changed=not args.all))
     return 0
 
 
@@ -206,11 +297,29 @@ def main(argv=None) -> int:
     )
     cache_p.set_defaults(fn=cmd_cache)
 
+    stats_p = sub.add_parser(
+        "stats", help="work with exported metric snapshots"
+    )
+    stats_sub = stats_p.add_subparsers(dest="stats_command", required=True)
+    diff_p = stats_sub.add_parser(
+        "diff", help="compare two repro-metrics/1 snapshots"
+    )
+    diff_p.add_argument("a", help="baseline snapshot (JSON)")
+    diff_p.add_argument("b", help="current snapshot (JSON)")
+    diff_p.add_argument(
+        "--all",
+        action="store_true",
+        help="show unchanged metrics too",
+    )
+    diff_p.set_defaults(fn=cmd_stats)
+
     for name, fn in (
         ("optimize", cmd_optimize),
         ("code", cmd_code),
         ("time", cmd_time),
         ("tune", cmd_tune),
+        ("trace", cmd_trace),
+        ("profile", cmd_profile),
     ):
         p = sub.add_parser(name)
         p.add_argument("workload")
@@ -224,6 +333,29 @@ def main(argv=None) -> int:
                 action="store_true",
                 help="print per-pass timings, counters and cache hit/miss counts",
             )
+            p.add_argument(
+                "--trace",
+                metavar="PATH",
+                default=None,
+                help="also record a hierarchical trace and write it to PATH",
+            )
+        if name == "trace":
+            p.add_argument(
+                "-o", "--output", default="trace.json",
+                help="output file (default trace.json)",
+            )
+            p.add_argument(
+                "--format",
+                choices=["chrome", "jsonl"],
+                default="chrome",
+                help="chrome: Perfetto-loadable trace-event JSON; "
+                "jsonl: one structured event per line",
+            )
+        if name == "profile":
+            p.add_argument("--top", type=int, default=8,
+                           help="children shown per level")
+            p.add_argument("--depth", type=int, default=6,
+                           help="maximum tree depth shown")
         if name in ("time", "tune"):
             p.add_argument("--threads", type=int, default=32)
         if name == "tune":

@@ -137,6 +137,17 @@ def generate_c(
     Tensors are read from ``<name>.bin`` (row-major float64) and live-out
     tensors are written back to ``<name>.out.bin``.
     """
+    from ..service import instrument
+
+    with instrument.span("codegen.generate_c"):
+        return _generate_c(tree, program, params)
+
+
+def _generate_c(
+    tree: DomainNode,
+    program: Program,
+    params: Optional[Mapping[str, int]] = None,
+) -> str:
     params = dict(program.params, **(params or {}))
     lines: List[str] = [HEADER]
 

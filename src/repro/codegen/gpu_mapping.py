@@ -46,9 +46,17 @@ def map_to_gpu(result: OptimizeResult) -> List[KernelInfo]:
 
     The tree is modified in place (idempotent: existing marks are reused).
     """
+    from ..service import instrument
     from .promotion import promoted_buffers
 
-    buffers = promoted_buffers(result)
+    with instrument.span("codegen.gpu_mapping"):
+        buffers = promoted_buffers(result)
+        kernels = _map_kernels(result, buffers)
+        instrument.annotate(kernels=len(kernels))
+        return kernels
+
+
+def _map_kernels(result: OptimizeResult, buffers) -> List[KernelInfo]:
     kernels: List[KernelInfo] = []
     for ki, filt in enumerate(top_level_filters(result.tree)):
         band = _first_band(filt)

@@ -79,6 +79,19 @@ def promoted_buffers(
     A tensor is promoted when it is produced by a fused (extension) space
     and consumed inside the same cluster's tiles.
     """
+    from ..service import instrument
+
+    with instrument.span("codegen.promotion"):
+        out = _promoted_buffers(result, params)
+        instrument.annotate(
+            clusters=len(out), buffers=sum(len(b) for b in out.values())
+        )
+        return out
+
+
+def _promoted_buffers(
+    result: OptimizeResult, params: Optional[Mapping[str, int]] = None
+) -> Dict[str, List[PromotedBuffer]]:
     program = result.program
     params = dict(program.params, **(params or {}))
     out: Dict[str, List[PromotedBuffer]] = {}

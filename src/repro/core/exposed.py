@@ -14,6 +14,7 @@ from typing import List, Sequence, Tuple
 from ..ir import Program
 from ..presburger import Map, UnionMap
 from ..scheduler import FusionGroup
+from ..service import instrument
 
 
 def exposed_tensors(
@@ -34,7 +35,10 @@ def exposed_tensors(
             if s in members:
                 continue
             produced_elsewhere.add(program.statement(s).tensor_written())
-    return tuple(sorted(read & produced_elsewhere))
+    exposed = tuple(sorted(read & produced_elsewhere))
+    if exposed:
+        instrument.count("exposed.tensors", len(exposed))
+    return exposed
 
 
 def upwards_exposed_reads(

@@ -148,6 +148,18 @@ def tile_to_instances(
     cached = _T2I_MEMO.get(key)
     if cached is not memo.MISS:
         return cached
+    with instrument.span("tile_to_instances", group=group.name):
+        return _tile_to_instances_miss(program, group, tile_sizes, tdims, key)
+
+
+def _tile_to_instances_miss(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence,
+    tdims: Tuple[str, ...],
+    key: tuple,
+) -> UnionMap:
+    n = len(tile_sizes)
     pb = parametric_binding(program, group, tile_sizes, tdims)
     if pb is not None:
         names, binding = pb
@@ -191,8 +203,14 @@ def tile_footprint(
     Only reads of the listed ``tensors`` (the upwards-exposed data) are
     included; results are keyed ``(TILE_TUPLE, tensor)``.
     """
-    with instrument.span("footprint"):
-        return _tile_footprint(program, group, tile_sizes, tensors, tile_dims)
+    with instrument.span("footprint", group=group.name, tensors=len(tensors)):
+        fp = _tile_footprint(program, group, tile_sizes, tensors, tile_dims)
+        instrument.annotate(relations=len(fp.maps))
+        for m in fp.maps.values():
+            instrument.observe(
+                "footprint.pieces", len(m.pieces), buckets=(1, 2, 4, 8, 16, 32)
+            )
+        return fp
 
 
 def _tile_footprint(
@@ -247,7 +265,13 @@ def footprint_size(
     fp: Map, tile_origin: Mapping[str, int], params: Mapping[str, int]
 ) -> int:
     """Exact number of elements a concrete tile touches."""
-    return fp.fix_params(params).image_of_point(tile_origin).count_points()
+    n = fp.fix_params(params).image_of_point(tile_origin).count_points()
+    instrument.observe(
+        "footprint.size_elements",
+        n,
+        buckets=(64, 256, 1024, 4096, 16384, 65536, 262144, 1048576),
+    )
+    return n
 
 
 def band_extents(
@@ -329,6 +353,17 @@ def write_footprint(
     tile_dims: Optional[Sequence[str]] = None,
 ) -> UnionMap:
     """Like :func:`tile_footprint` but for writes (used for store traffic)."""
+    with instrument.span("write_footprint", group=group.name):
+        return _write_footprint(program, group, tile_sizes, tensors, tile_dims)
+
+
+def _write_footprint(
+    program: Program,
+    group: FusionGroup,
+    tile_sizes: Sequence[int],
+    tensors: Sequence[str],
+    tile_dims: Optional[Sequence[str]] = None,
+) -> UnionMap:
     n = len(tile_sizes)
     key = (
         _group_key(program, group, n),
@@ -343,7 +378,7 @@ def write_footprint(
     pb = parametric_binding(program, group, tile_sizes, tile_dims)
     if pb is not None:
         names, binding = pb
-        sym = write_footprint(program, group, names, tensors, tile_dims)
+        sym = _write_footprint(program, group, names, tensors, tile_dims)
         return _WRITE_FP_MEMO.put(key, sym.specialize(binding))
     t2i = tile_to_instances(program, group, tile_sizes, tile_dims)
     out: List[Map] = []

@@ -99,13 +99,28 @@ def optimize(
     )
     spec = opts.target
     t0 = time.perf_counter()
-    with instrument.span("startup_fusion"):
-        scheduled = schedule_program(program, opts.startup)
-    with instrument.span("tile_shapes"):
-        mixed = composite_tiling_fusion(program, scheduled, opts.tile_sizes, spec)
-    with instrument.span("post_fusion"):
-        tree = apply_mixed_schedules(program, scheduled, mixed)
+    with instrument.span(
+        "optimize",
+        target=spec.name,
+        startup=opts.startup,
+        statements=len(program.statements),
+        tile_sizes=str(opts.tile_sizes) if opts.tile_sizes else "auto",
+    ) as root:
+        if root is not None and instrument.tracing():
+            # The fingerprint hash is only worth paying for in a trace.
+            from ..service.fingerprint import fingerprint_program
+
+            root.annotate(fingerprint=fingerprint_program(program)[:12])
+        with instrument.span("startup_fusion", heuristic=opts.startup):
+            scheduled = schedule_program(program, opts.startup)
+        with instrument.span("tile_shapes"):
+            mixed = composite_tiling_fusion(
+                program, scheduled, opts.tile_sizes, spec
+            )
+        with instrument.span("post_fusion"):
+            tree = apply_mixed_schedules(program, scheduled, mixed)
     elapsed = time.perf_counter() - t0
+    instrument.gauge("optimize.compile_seconds", elapsed)
     # Report the tile sizes the pass actually used: the first tiled
     # live-out entry carries the effective (clipped or defaulted) vector,
     # which differs from the caller's request when sizes were omitted

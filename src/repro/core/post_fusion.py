@@ -41,19 +41,26 @@ def apply_mixed_schedules(
 
     The tree held by ``scheduled`` is mutated in place and returned.
     """
+    from ..service import instrument
+
     tree = scheduled.tree
     for entry in mixed.tiling_entries():
         group = entry.group
         if not entry.is_tiled:
             continue  # untiled live-out space: leave its subtree alone
-        tile = tile_group(tree, group, entry.tile_sizes)
+        with instrument.span(
+            "tile_group", group=group.name, sizes=str(entry.tile_sizes)
+        ):
+            tile = tile_group(tree, group, entry.tile_sizes)
         if tile is None:
             raise PostFusionError(
                 f"group {group.name} was marked tiled but its band is not "
                 "permutable"
             )
         for ext in mixed.extensions_of(group):
-            _splice_extension(program, tree, tile, entry, ext)
+            with instrument.span("splice_extension", group=ext.group.name):
+                _splice_extension(program, tree, tile, entry, ext)
+            instrument.count("post_fusion.extensions_spliced")
     return tree
 
 

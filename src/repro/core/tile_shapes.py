@@ -180,6 +180,22 @@ def _algorithm1(
     target: TargetSpec,
     mixed: MixedSchedules,
 ) -> None:
+    with instrument.span(
+        "algorithm1", liveout=liveout.name, intermediates=len(intermediates)
+    ):
+        _algorithm1_step(
+            program, liveout, intermediates, tile_sizes, target, mixed
+        )
+
+
+def _algorithm1_step(
+    program: Program,
+    liveout: FusionGroup,
+    intermediates: List[FusionGroup],
+    tile_sizes: Optional[Sequence[int]],
+    target: TargetSpec,
+    mixed: MixedSchedules,
+) -> None:
     m = min(liveout.n_parallel(), target.m_cap)
     tilable = liveout.permutable and liveout.n_parallel() >= target.min_m
     sizes = effective_tile_sizes(liveout, tile_sizes, target) if tilable else None
@@ -237,21 +253,25 @@ def _algorithm1(
         if m > n:
             untiled.append(space)
             continue
-        entry = _fuse_space(
-            program,
-            space,
-            liveout,
-            footprints,
-            tdims,
-            origin,
-            n_tiles,
-            target,
-            budget,
-            binding,
-        )
+        with instrument.span("fuse_space", space=space.name):
+            entry = _fuse_space(
+                program,
+                space,
+                liveout,
+                footprints,
+                tdims,
+                origin,
+                n_tiles,
+                target,
+                budget,
+                binding,
+            )
+            instrument.annotate(fused=entry is not None)
         if entry is None:
+            instrument.count("tile_shapes.rejected_spaces")
             untiled.append(space)
             continue
+        instrument.count("tile_shapes.fused_spaces")
         mixed.entries.append(entry)
 
     # Line 17: recursively handle the spaces left untiled.

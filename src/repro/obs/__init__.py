@@ -1,0 +1,96 @@
+"""``repro.obs`` — the observability subsystem.
+
+Grown out of ``repro.service.instrument`` (which remains as a
+backwards-compatible alias):
+
+* :mod:`trace` — hierarchical spans with parent/child links and
+  attributes, counters, gauges, histograms, per-compile
+  :class:`CompileReport` objects and cross-worker merging;
+* :mod:`metrics` — the process-level :class:`MetricsRegistry` with a
+  stable JSON snapshot schema, merge and run-to-run diff;
+* :mod:`export` — Chrome trace-event JSON / JSONL exporters and the
+  profile-tree view;
+* :mod:`schema` — validators for every exported artifact (used by the CI
+  ``trace-smoke`` job and the perf-regression gate).
+
+Only the stdlib is imported here, so the lowest layers of the package
+(``repro.presburger``) instrument themselves without import cycles.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricDelta,
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    diff_snapshots,
+    format_diff,
+)
+from .trace import (
+    MAX_EVENTS,
+    CompileReport,
+    SpanEvent,
+    SpanStat,
+    active,
+    annotate,
+    collect,
+    count,
+    current_span_id,
+    gauge,
+    merge_report,
+    observe,
+    span,
+    tracing,
+)
+from .export import (
+    JSONL_SCHEMA,
+    TRACE_SCHEMA,
+    ProfileNode,
+    chrome_trace,
+    format_profile,
+    jsonl_lines,
+    profile_tree,
+    write_trace,
+)
+from .schema import (
+    trace_nesting_depth,
+    validate_chrome_trace,
+    validate_jsonl,
+    validate_metrics_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MAX_EVENTS",
+    "SNAPSHOT_SCHEMA",
+    "TRACE_SCHEMA",
+    "JSONL_SCHEMA",
+    "CompileReport",
+    "Histogram",
+    "MetricDelta",
+    "MetricsRegistry",
+    "ProfileNode",
+    "SpanEvent",
+    "SpanStat",
+    "active",
+    "annotate",
+    "chrome_trace",
+    "collect",
+    "count",
+    "current_span_id",
+    "diff_snapshots",
+    "format_diff",
+    "format_profile",
+    "gauge",
+    "jsonl_lines",
+    "merge_report",
+    "observe",
+    "profile_tree",
+    "span",
+    "trace_nesting_depth",
+    "tracing",
+    "validate_chrome_trace",
+    "validate_jsonl",
+    "validate_metrics_snapshot",
+    "write_trace",
+]

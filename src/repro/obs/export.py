@@ -1,0 +1,232 @@
+"""Trace exporters and the profile-tree view.
+
+Turns a traced :class:`~repro.obs.trace.CompileReport` into:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`) — complete-event
+  (``"ph": "X"``) records loadable in Perfetto / ``chrome://tracing``;
+* **JSONL** (:func:`jsonl_lines`) — one structured event per line with a
+  leading meta record and a trailing metrics snapshot, for log pipelines;
+* a **profile tree** (:func:`profile_tree` / :func:`format_profile`) —
+  spans aggregated by call path with self/total time, the ``repro
+  profile`` view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .trace import CompileReport, SpanEvent
+
+#: Schema tags checked by :mod:`repro.obs.schema`.
+TRACE_SCHEMA = "repro-trace/1"
+JSONL_SCHEMA = "repro-events/1"
+
+
+def _entry_order(events: List[SpanEvent]) -> List[SpanEvent]:
+    """Events sorted by span *entry* (reports append them in exit order),
+    so parents precede their children in exported streams."""
+    return sorted(events, key=lambda e: (e.start, -e.duration))
+
+
+def _args(event: SpanEvent) -> Dict[str, object]:
+    args: Dict[str, object] = {}
+    for k, v in event.attrs.items():
+        args[k] = v if isinstance(v, (int, float, bool, str, type(None))) else str(v)
+    for k, v in event.counters.items():
+        args[f"counter.{k}"] = v
+    return args
+
+
+def chrome_trace(report: CompileReport, pid: int = 1) -> Dict[str, object]:
+    """The report's events as a Chrome trace-event JSON object."""
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "repro compile"},
+        }
+    ]
+    for e in _entry_order(report.events):
+        events.append(
+            {
+                "name": e.name,
+                "cat": "compile",
+                "ph": "X",
+                "ts": e.start * 1e6,  # microseconds
+                "dur": e.duration * 1e6,
+                "pid": pid,
+                "tid": e.tid,
+                "args": _args(e),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "spans": len(report.events),
+            "dropped_events": report.dropped_events,
+        },
+    }
+
+
+def jsonl_lines(report: CompileReport) -> List[str]:
+    """The report as JSONL: meta line, span lines, metrics line."""
+    lines = [
+        json.dumps(
+            {
+                "type": "meta",
+                "schema": JSONL_SCHEMA,
+                "spans": len(report.events),
+                "dropped_events": report.dropped_events,
+            },
+            sort_keys=True,
+        )
+    ]
+    for e in _entry_order(report.events):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "id": e.id,
+                    "parent": e.parent,
+                    "name": e.name,
+                    "start": e.start,
+                    "dur": e.duration,
+                    "tid": e.tid,
+                    "attrs": _args(e),
+                    "counters": dict(e.counters),
+                },
+                sort_keys=True,
+            )
+        )
+    lines.append(
+        json.dumps({"type": "metrics", **report.to_metrics()}, sort_keys=True)
+    )
+    return lines
+
+
+def write_trace(report: CompileReport, path: str, format: str = "chrome") -> None:
+    """Serialize the report's trace to ``path`` (``chrome`` or ``jsonl``)."""
+    if format == "chrome":
+        with open(path, "w") as f:
+            json.dump(chrome_trace(report), f, indent=1, sort_keys=True)
+            f.write("\n")
+    elif format == "jsonl":
+        with open(path, "w") as f:
+            for line in jsonl_lines(report):
+                f.write(line + "\n")
+    else:
+        raise ValueError(f"unknown trace format {format!r}; use 'chrome' or 'jsonl'")
+
+
+# ---------------------------------------------------------------------------
+# profile tree
+
+
+@dataclass
+class ProfileNode:
+    """Spans aggregated by call path: one node per (path, name)."""
+
+    name: str
+    calls: int = 0
+    total: float = 0.0  # inclusive seconds
+    counters: Dict[str, int] = field(default_factory=dict)
+    children: Dict[str, "ProfileNode"] = field(default_factory=dict)
+
+    @property
+    def self_seconds(self) -> float:
+        return max(0.0, self.total - sum(c.total for c in self.children.values()))
+
+    def walk_depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(c.walk_depth() for c in self.children.values())
+
+
+def profile_tree(report: CompileReport) -> List[ProfileNode]:
+    """Aggregate the report's events into per-path profile roots.
+
+    Events sharing a (parent path, name) merge into one node, so a span
+    entered 99 times under the same parent renders as one line with
+    ``calls=99`` — the ``repro profile`` view.
+    """
+    by_id: Dict[int, SpanEvent] = {e.id: e for e in report.events}
+    roots: Dict[str, ProfileNode] = {}
+    node_of: Dict[int, ProfileNode] = {}
+
+    def _node_for(event: SpanEvent) -> ProfileNode:
+        cached = node_of.get(event.id)
+        if cached is not None:
+            return cached
+        parent = by_id.get(event.parent) if event.parent is not None else None
+        if parent is None:
+            table = roots
+        else:
+            table = _node_for(parent).children
+        node = table.get(event.name)
+        if node is None:
+            node = table[event.name] = ProfileNode(event.name)
+        node_of[event.id] = node
+        return node
+
+    # Sort parents-first so recursion depth stays shallow, then fold in.
+    for e in sorted(report.events, key=lambda e: (e.start, -e.duration)):
+        node = _node_for(e)
+        node.calls += 1
+        node.total += e.duration
+        for k, v in e.counters.items():
+            node.counters[k] = node.counters.get(k, 0) + v
+    return sorted(roots.values(), key=lambda n: -n.total)
+
+
+def format_profile(
+    roots: List[ProfileNode],
+    top: int = 8,
+    max_depth: int = 6,
+    wall_seconds: Optional[float] = None,
+    indent: str = "  ",
+) -> str:
+    """Render the profile tree: total/self milliseconds, calls, name.
+
+    ``top`` bounds the children shown per level (the rest fold into an
+    ``(… k more)`` line so totals stay honest); ``wall_seconds`` appends a
+    coverage line comparing the root total against wall-clock.
+    """
+    lines: List[str] = []
+    total_all = sum(r.total for r in roots)
+    header = f"{'total ms':>10}  {'self ms':>10}  {'calls':>7}  span"
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    def _emit(node: ProfileNode, depth: int) -> None:
+        lines.append(
+            f"{node.total * 1e3:10.2f}  {node.self_seconds * 1e3:10.2f}  "
+            f"{node.calls:7d}  {indent * depth}{node.name}"
+        )
+        if depth + 1 >= max_depth:
+            return
+        children = sorted(node.children.values(), key=lambda n: -n.total)
+        for child in children[:top]:
+            _emit(child, depth + 1)
+        hidden = children[top:]
+        if hidden:
+            t = sum(c.total for c in hidden)
+            lines.append(
+                f"{t * 1e3:10.2f}  {'':>10}  {sum(c.calls for c in hidden):7d}  "
+                f"{indent * (depth + 1)}(… {len(hidden)} more)"
+            )
+
+    for root in roots[:top]:
+        _emit(root, 0)
+    if wall_seconds:
+        cov = 100.0 * total_all / wall_seconds if wall_seconds > 0 else 0.0
+        lines.append(
+            f"span total {total_all * 1e3:.2f} ms over wall-clock "
+            f"{wall_seconds * 1e3:.2f} ms ({cov:.1f}% covered)"
+        )
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ working unchanged.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
@@ -28,7 +29,11 @@ class CompileOptions:
     coerced to a tuple of positive ints.  ``startup`` picks the start-up
     fusion heuristic.  ``mode``/``jobs``/``cache`` configure the batch
     driver: dispatch strategy, worker count and an optional
-    :class:`~repro.service.CompileCache`.
+    :class:`~repro.service.CompileCache`.  ``cache`` also accepts a
+    string or :class:`os.PathLike`: ``"default"`` for the process-wide
+    cache, a bare name for a named cache under the default cache
+    directory, or a directory path (resolved via
+    :func:`~repro.service.cache.resolve_cache`).
     """
 
     target: Union[str, object] = "cpu"
@@ -78,6 +83,11 @@ class CompileOptions:
             if jobs < 1:
                 raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
             object.__setattr__(self, "jobs", jobs)
+
+        if isinstance(self.cache, (str, os.PathLike)):
+            from .service.cache import resolve_cache
+
+            object.__setattr__(self, "cache", resolve_cache(self.cache))
 
     @property
     def target_name(self) -> str:

@@ -35,6 +35,10 @@ from .linexpr import LinExpr
 from .symtab import sym_name
 from ..service import instrument
 
+#: Dimension-count histogram buckets for FM eliminations (most systems in
+#: this package project out 1-4 symbols; tile bands push the tail higher).
+_DIM_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16)
+
 _ELIM_MEMO = memo.table("fm_eliminate")
 _ELIM_BOUNDS_MEMO = memo.table("fm_eliminate_bounds")
 
@@ -147,6 +151,10 @@ def eliminate_symbols(
     constraints: Sequence[Constraint], syms: Sequence[str]
 ) -> List[Constraint]:
     instrument.count("presburger.fm_eliminate", len(syms))
+    if syms:
+        instrument.observe(
+            "presburger.fm.eliminated_dims", len(syms), buckets=_DIM_BUCKETS
+        )
     key = (tuple(constraints), tuple(syms))
     cached = _ELIM_MEMO.get(key)
     if cached is not memo.MISS:
@@ -170,6 +178,10 @@ def eliminate_symbols_for_bounds(
     the projected constraints become part of a set that user code sees.
     """
     instrument.count("presburger.fm_eliminate", len(syms))
+    if syms:
+        instrument.observe(
+            "presburger.fm.eliminated_dims", len(syms), buckets=_DIM_BUCKETS
+        )
     key = (tuple(constraints), tuple(syms))
     cached = _ELIM_BOUNDS_MEMO.get(key)
     if cached is not memo.MISS:

@@ -70,24 +70,31 @@ def schedule_program(program: Program, heuristic: str = SMARTFUSE) -> Scheduled:
     """Apply a start-up fusion heuristic and build the schedule tree."""
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; choose from {HEURISTICS}")
+    from ..service import instrument
     from ..service.fingerprint import fingerprint_program
 
-    key = (fingerprint_program(program), heuristic)
-    cached = _STARTUP_MEMO.get(key)
-    if cached is not memo.MISS:
-        deps, groups = cached
-    else:
-        deps = memory_deps(program)
-        if heuristic == MINFUSE:
-            groups = _minfuse(program, deps)
-        elif heuristic == SMARTFUSE:
-            groups = _smartfuse(program, deps)
-        elif heuristic == MAXFUSE:
-            groups = _maxfuse(program, deps)
+    with instrument.span("scheduler", heuristic=heuristic):
+        key = (fingerprint_program(program), heuristic)
+        cached = _STARTUP_MEMO.get(key)
+        if cached is not memo.MISS:
+            deps, groups = cached
+            instrument.count("scheduler.startup_memo.hit")
         else:
-            groups = _hybridfuse(program, deps)
-        _STARTUP_MEMO.put(key, (deps, groups))
-    tree = groups_tree(program, groups)
+            instrument.count("scheduler.startup_memo.miss")
+            with instrument.span("scheduler.analyze", heuristic=heuristic):
+                deps = memory_deps(program)
+                if heuristic == MINFUSE:
+                    groups = _minfuse(program, deps)
+                elif heuristic == SMARTFUSE:
+                    groups = _smartfuse(program, deps)
+                elif heuristic == MAXFUSE:
+                    groups = _maxfuse(program, deps)
+                else:
+                    groups = _hybridfuse(program, deps)
+            _STARTUP_MEMO.put(key, (deps, groups))
+        instrument.annotate(groups=len(groups), deps=len(deps))
+        with instrument.span("scheduler.build_tree"):
+            tree = groups_tree(program, groups)
     return Scheduled(
         program, heuristic, groups, deps, tree, hybrid_inner=heuristic == HYBRIDFUSE
     )

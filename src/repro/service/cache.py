@@ -325,3 +325,26 @@ def reset_default_cache() -> None:
     """Forget the process-wide cache instance (tests, env changes)."""
     global _default
     _default = None
+
+
+def resolve_cache(spec) -> CompileCache:
+    """A :class:`CompileCache` from a string/path spelling.
+
+    * ``"default"`` — the process-wide :func:`default_cache`;
+    * a bare name (no path separator, no ``~``) — a named cache under
+      ``<default_cache_dir()>/named/<name>`` so ad-hoc caches never
+      collide with the default cache's own stores;
+    * anything else — an explicit directory path (``~`` expanded).
+
+    :class:`CompileCache` instances pass through unchanged.
+    """
+    if isinstance(spec, CompileCache):
+        return spec
+    path = os.fspath(spec)
+    if path == "default":
+        return default_cache()
+    if os.sep not in path and "/" not in path and not path.startswith("~"):
+        return CompileCache(
+            cache_dir=os.path.join(default_cache_dir(), "named", path)
+        )
+    return CompileCache(cache_dir=os.path.expanduser(path))

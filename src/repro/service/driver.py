@@ -155,12 +155,8 @@ def _run_request(request: CompileRequest) -> Tuple[Optional[object], Optional[st
     return result, None
 
 
-def _worker(payload: bytes) -> bytes:
-    """Process-pool entry point: pickled ``(request, memo_dir)`` in,
-    pickled outcome out.  The worker is a fresh process with empty memo
-    tables — exactly where the disk spill pays off — so it loads its
-    program's snapshot itself and spills the result back."""
-    request, memo_dir = pickle.loads(payload)
+def _worker_body(request: CompileRequest, memo_dir: Optional[str]):
+    """One worker's compile, including its memo warm-start round-trip."""
     if memo_dir is not None:
         cache = CompileCache(cache_dir=memo_dir)
         program_fp = fingerprint_program(request.program)
@@ -170,7 +166,32 @@ def _worker(payload: bytes) -> bytes:
             spill_program_memos(cache, program_fp)
     else:
         result, error = _run_request(request)
-    return pickle.dumps((result, error))
+    return result, error
+
+
+def _worker(payload: bytes) -> bytes:
+    """Process-pool entry point: pickled ``(request, memo_dir, observe,
+    trace)`` in, pickled ``(result, error, report)`` out.  The worker is a
+    fresh process with empty memo tables — exactly where the disk spill
+    pays off — so it loads its program's snapshot itself and spills the
+    result back.
+
+    Collector stacks are per-thread and per-process, so a worker's spans
+    and counters would silently vanish; when the driver is being observed
+    the worker collects its own :class:`~repro.obs.CompileReport` (with
+    span events when the driver is tracing) and ships it back for merging.
+    """
+    request, memo_dir, observe, trace = pickle.loads(payload)
+    if observe:
+        with instrument.collect(trace=trace) as report:
+            with instrument.span(
+                "compile_worker", fingerprint=request.fingerprint[:12]
+            ):
+                result, error = _worker_body(request, memo_dir)
+    else:
+        report = None
+        result, error = _worker_body(request, memo_dir)
+    return pickle.dumps((result, error, report))
 
 
 def _default_workers(n_tasks: int) -> int:
@@ -183,22 +204,43 @@ def _dispatch(
     max_workers: Optional[int],
     memo_dir: Optional[str] = None,
 ) -> List[Tuple[Optional[object], Optional[str]]]:
-    """Compile ``requests`` (already deduplicated), preserving order."""
+    """Compile ``requests`` (already deduplicated), preserving order.
+
+    Worker spans and counters land in per-worker reports (collector
+    stacks are thread- and process-local) which are merged back into the
+    driver's active collectors here, so batch reports account for work
+    done off the driver thread.
+    """
     if mode not in MODES:
         raise ValueError(f"unknown dispatch mode {mode!r}; expected one of {MODES}")
     if mode == "serial" or len(requests) <= 1:
+        # Serial runs on the driver thread where collectors already see
+        # every span directly — no side report to merge.
         _load_batch_memos(requests, memo_dir)
         results = [_run_request(r) for r in requests]
         _spill_batch_memos(requests, memo_dir)
         return results
 
+    observe, trace = instrument.active(), instrument.tracing()
     workers = max_workers or _default_workers(len(requests))
     if mode in ("auto", "process"):
         try:
-            payloads = [pickle.dumps((r, memo_dir)) for r in requests]
+            payloads = [
+                pickle.dumps((r, memo_dir, observe, trace)) for r in requests
+            ]
+            t0 = time.perf_counter()
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 raw = list(pool.map(_worker, payloads))
-            return [pickle.loads(b) for b in raw]
+            results = []
+            for b in raw:
+                result, error, report = pickle.loads(b)
+                if report is not None:
+                    # Worker-process perf_counter epochs are not
+                    # comparable to ours: rebase onto the dispatch start.
+                    instrument.merge_report(report, at=t0)
+                    instrument.count("driver.worker_reports_merged")
+                results.append((result, error))
+            return results
         except Exception:
             if mode == "process":
                 raise
@@ -206,13 +248,31 @@ def _dispatch(
             # (no fork/semaphores) degrades to threads below.
     # Threads share the process-wide memo tables: load once, spill once.
     _load_batch_memos(requests, memo_dir)
+
+    def _threaded(request: CompileRequest):
+        if not observe:
+            return _run_request(request) + (None,)
+        with instrument.collect(trace=trace) as report:
+            with instrument.span(
+                "compile_worker", fingerprint=request.fingerprint[:12]
+            ):
+                result, error = _run_request(request)
+        return result, error, report
+
     try:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_run_request, requests))
+            triples = list(pool.map(_threaded, requests))
     except Exception:
         if mode == "thread":
             raise
-        results = [_run_request(r) for r in requests]
+        triples = [_run_request(r) + (None,) for r in requests]
+    results = []
+    for result, error, report in triples:
+        if report is not None:
+            # Same process, same clock: no rebase needed.
+            instrument.merge_report(report)
+            instrument.count("driver.worker_reports_merged")
+        results.append((result, error))
     _spill_batch_memos(requests, memo_dir)
     return results
 
@@ -243,7 +303,7 @@ def compile_batch(
         cache=cache if cache is not None else _UNSET,
     )
     mode, max_workers, cache = opts.mode, opts.jobs, opts.cache
-    with instrument.span("compile_batch"):
+    with instrument.span("compile_batch", mode=mode, requests=len(requests)):
         outcomes: List[CompileOutcome] = [
             CompileOutcome(request=r, fingerprint=r.fingerprint) for r in requests
         ]

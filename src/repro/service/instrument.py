@@ -1,143 +1,45 @@
-"""Pass-level observability: spans, counters and per-compile reports.
+"""Backwards-compatible alias of :mod:`repro.obs`.
 
-The optimizer's passes wrap themselves in ``with span("tile_shapes"):``
-and hot kernels bump counters (``count("presburger.fm_eliminate")``).
-Both are near-free when nobody is listening: a compile report only
-accumulates inside a ``with collect() as report:`` block on the same
-thread.
-
-This module is deliberately standalone — it imports nothing from the
-rest of the package, so the lowest layers (``repro.presburger``) can use
-it without creating an import cycle.
+The pass-level instrumentation layer started life here; it grew into the
+full observability subsystem ``repro.obs`` (hierarchical tracing, metrics
+registry, exporters).  Every historical name — ``span``, ``count``,
+``collect``, ``active``, ``CompileReport``, ``SpanStat`` — now lives in
+:mod:`repro.obs.trace`; this module re-exports the whole surface so
+``from repro.service import instrument`` keeps working unchanged.
 """
 
 from __future__ import annotations
 
-import threading
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from time import perf_counter
-from typing import Dict, Iterator, List, Mapping, Optional
+from ..obs.trace import (  # noqa: F401
+    MAX_EVENTS,
+    CompileReport,
+    SpanEvent,
+    SpanStat,
+    active,
+    annotate,
+    collect,
+    count,
+    current_span_id,
+    gauge,
+    merge_report,
+    observe,
+    span,
+    tracing,
+)
 
-
-@dataclass
-class SpanStat:
-    """Aggregate of every entry into one named span."""
-
-    calls: int = 0
-    seconds: float = 0.0
-
-    def add(self, seconds: float) -> None:
-        self.calls += 1
-        self.seconds += seconds
-
-
-@dataclass
-class CompileReport:
-    """Everything observed during one instrumented region."""
-
-    spans: Dict[str, SpanStat] = field(default_factory=dict)
-    counters: Dict[str, int] = field(default_factory=dict)
-    cache: Dict[str, int] = field(default_factory=dict)
-
-    def add_span(self, name: str, seconds: float) -> None:
-        self.spans.setdefault(name, SpanStat()).add(seconds)
-
-    def add_count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
-
-    def merge_cache_stats(self, stats: Mapping[str, int]) -> None:
-        for k, v in stats.items():
-            self.cache[k] = self.cache.get(k, 0) + v
-
-    def total_seconds(self) -> float:
-        return sum(s.seconds for s in self.spans.values())
-
-    def as_dict(self) -> Dict[str, object]:
-        return {
-            "spans": {
-                k: {"calls": v.calls, "seconds": v.seconds}
-                for k, v in self.spans.items()
-            },
-            "counters": dict(self.counters),
-            "cache": dict(self.cache),
-        }
-
-    def format(self, indent: str = "  ") -> str:
-        """A human-readable multi-line rendering for ``--stats``."""
-        lines: List[str] = []
-        if self.spans:
-            lines.append("per-pass timings:")
-            width = max(len(k) for k in self.spans)
-            for name, stat in sorted(
-                self.spans.items(), key=lambda kv: -kv[1].seconds
-            ):
-                lines.append(
-                    f"{indent}{name.ljust(width)}  "
-                    f"{stat.seconds * 1e3:9.2f} ms  ({stat.calls} calls)"
-                )
-        if self.counters:
-            lines.append("counters:")
-            width = max(len(k) for k in self.counters)
-            for name in sorted(self.counters):
-                lines.append(f"{indent}{name.ljust(width)}  {self.counters[name]}")
-        if self.cache:
-            lines.append("cache:")
-            width = max(len(k) for k in self.cache)
-            for name in sorted(self.cache):
-                lines.append(f"{indent}{name.ljust(width)}  {self.cache[name]}")
-        return "\n".join(lines) if lines else "(no instrumentation recorded)"
-
-
-_state = threading.local()
-
-
-def _collectors() -> List[CompileReport]:
-    stack = getattr(_state, "stack", None)
-    if stack is None:
-        stack = []
-        _state.stack = stack
-    return stack
-
-
-def active() -> bool:
-    """True when at least one collector is listening on this thread."""
-    return bool(getattr(_state, "stack", None))
-
-
-@contextmanager
-def collect(report: Optional[CompileReport] = None) -> Iterator[CompileReport]:
-    """Accumulate spans/counters from the enclosed code into a report."""
-    if report is None:
-        report = CompileReport()
-    stack = _collectors()
-    stack.append(report)
-    try:
-        yield report
-    finally:
-        stack.remove(report)
-
-
-@contextmanager
-def span(name: str) -> Iterator[None]:
-    """Time the enclosed block under ``name`` (no-op when not collecting)."""
-    stack = getattr(_state, "stack", None)
-    if not stack:
-        yield
-        return
-    t0 = perf_counter()
-    try:
-        yield
-    finally:
-        elapsed = perf_counter() - t0
-        for report in stack:
-            report.add_span(name, elapsed)
-
-
-def count(name: str, n: int = 1) -> None:
-    """Bump a counter on every active collector (no-op otherwise)."""
-    stack = getattr(_state, "stack", None)
-    if not stack:
-        return
-    for report in stack:
-        report.add_count(name, n)
+__all__ = [
+    "MAX_EVENTS",
+    "CompileReport",
+    "SpanEvent",
+    "SpanStat",
+    "active",
+    "annotate",
+    "collect",
+    "count",
+    "current_span_id",
+    "gauge",
+    "merge_report",
+    "observe",
+    "span",
+    "tracing",
+]

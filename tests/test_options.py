@@ -68,6 +68,53 @@ class TestValidation:
         assert a == b and hash(a) == hash(b)
 
 
+class TestCacheSpelling:
+    def test_cache_object_passes_through(self, tmp_path):
+        cache = CompileCache(cache_dir=str(tmp_path))
+        assert CompileOptions(cache=cache).cache is cache
+
+    def test_cache_path_resolves_to_cache(self, tmp_path):
+        o = CompileOptions(cache=str(tmp_path / "c"))
+        assert isinstance(o.cache, CompileCache)
+        assert o.cache.cache_dir == str(tmp_path / "c")
+
+    def test_cache_pathlike_resolves(self, tmp_path):
+        o = CompileOptions(cache=tmp_path / "c")
+        assert isinstance(o.cache, CompileCache)
+        assert o.cache.cache_dir == str(tmp_path / "c")
+
+    def test_cache_default_spelling(self, monkeypatch, tmp_path):
+        from repro.service.cache import reset_default_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        reset_default_cache()
+        try:
+            o = CompileOptions(cache="default")
+            assert isinstance(o.cache, CompileCache)
+            assert o.cache.cache_dir == str(tmp_path)
+        finally:
+            reset_default_cache()
+
+    def test_cache_bare_name_is_namespaced(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        o = CompileOptions(cache="mycache")
+        assert isinstance(o.cache, CompileCache)
+        assert o.cache.cache_dir == str(tmp_path / "named" / "mycache")
+
+    def test_cache_tilde_expanded(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        o = CompileOptions(cache="~/caches/x")
+        assert o.cache.cache_dir == str(tmp_path / "caches" / "x")
+
+    def test_cached_optimize_with_path_cache(self, tmp_path):
+        p = build_conv()
+        o = CompileOptions(tile_sizes=(8, 8), cache=str(tmp_path / "cc"))
+        r1 = cached_optimize(p, options=o)
+        r2 = cached_optimize(p, options=o)
+        assert o.cache.stats.hits >= 1
+        assert r1.fusion_summary() == r2.fusion_summary()
+
+
 class TestEntryPoints:
     def test_optimize_positional_options(self):
         p = build_conv()

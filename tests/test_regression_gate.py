@@ -1,0 +1,127 @@
+"""The perf-regression gate, driven with synthetic snapshots."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "check_regression.py"
+)
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location("check_regression", _GATE_PATH)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+gate = _load_gate()
+
+
+def make_snapshot(path, gauges):
+    reg = MetricsRegistry()
+    for name, value in gauges.items():
+        reg.set_gauge(name, value)
+    path.write_text(json.dumps(reg.snapshot()))
+    return str(path)
+
+
+@pytest.fixture()
+def snapshots(tmp_path):
+    def build(baseline, current):
+        return (
+            make_snapshot(tmp_path / "baseline.json", baseline),
+            make_snapshot(tmp_path / "current.json", current),
+        )
+
+    return build
+
+
+class TestGateExitCodes:
+    def test_2x_slowdown_fails(self, snapshots, capsys):
+        base, cur = snapshots({"bench.seconds": 0.1}, {"bench.seconds": 0.2})
+        rc = gate.main(["--baseline", base, "--current", cur])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "bench.seconds" in out
+
+    def test_within_tolerance_passes(self, snapshots, capsys):
+        base, cur = snapshots({"bench.seconds": 0.1}, {"bench.seconds": 0.12})
+        rc = gate.main(["--baseline", base, "--current", cur])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_report_only_never_fails(self, snapshots, capsys):
+        base, cur = snapshots({"bench.seconds": 0.1}, {"bench.seconds": 0.5})
+        rc = gate.main(["--baseline", base, "--current", cur, "--report-only"])
+        assert rc == 0
+        assert "[report-only]" in capsys.readouterr().out
+
+    def test_malformed_snapshot_is_usage_error(self, tmp_path, snapshots, capsys):
+        base, cur = snapshots({"bench.seconds": 0.1}, {"bench.seconds": 0.1})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert gate.main(["--baseline", str(bad), "--current", cur]) == 2
+        bad.write_text(json.dumps({"schema": "other/1"}))
+        assert gate.main(["--baseline", str(bad), "--current", cur]) == 2
+        missing = str(tmp_path / "absent.json")
+        assert gate.main(["--baseline", base, "--current", missing]) == 2
+
+    def test_bad_tolerance_flags(self, snapshots):
+        base, cur = snapshots({"a": 0.1}, {"a": 0.1})
+        args = ["--baseline", base, "--current", cur]
+        assert gate.main(args + ["--tolerance", "-1"]) == 2
+        assert gate.main(args + ["--metric-tolerance", "nonsense"]) == 2
+        assert gate.main(args + ["--metric-tolerance", "a=zero"]) == 2
+
+
+class TestGatePolicy:
+    def test_per_metric_override(self, snapshots):
+        base, cur = snapshots({"slow.op": 0.1}, {"slow.op": 0.25})
+        args = ["--baseline", base, "--current", cur]
+        assert gate.main(args) == 1
+        assert gate.main(args + ["--metric-tolerance", "slow.op=3.0"]) == 0
+
+    def test_noise_floor_suppresses_tiny_baselines(self, snapshots, capsys):
+        # A 100x blowup on a 10µs baseline is timer jitter, not a regression.
+        base, cur = snapshots({"tiny.op": 1e-5}, {"tiny.op": 1e-3})
+        rc = gate.main(["--baseline", base, "--current", cur])
+        assert rc == 0
+        assert "noise" in capsys.readouterr().out
+
+    def test_new_and_removed_metrics_never_fail(self, snapshots, capsys):
+        base, cur = snapshots({"old.op": 0.1}, {"new.op": 0.1})
+        rc = gate.main(["--baseline", base, "--current", cur])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "new " in out and "removed" in out
+
+    def test_compare_ignores_counters(self):
+        baseline = {"gauges": {"a": 0.1}, "counters": {"n": 10}}
+        current = {"gauges": {"a": 0.1}, "counters": {"n": 1000}}
+        regressions, _ = gate.compare(baseline, current)
+        assert regressions == []
+
+
+class TestRealBaseline:
+    def test_committed_baseline_is_valid(self):
+        path = os.path.join(
+            os.path.dirname(_GATE_PATH), "results", "perf_baseline.json"
+        )
+        snap = gate.load_snapshot(path)
+        assert snap["gauges"], "baseline must carry timing gauges"
+
+    def test_baseline_compares_clean_against_itself(self):
+        path = os.path.join(
+            os.path.dirname(_GATE_PATH), "results", "perf_baseline.json"
+        )
+        snap = gate.load_snapshot(path)
+        regressions, _ = gate.compare(snap, snap)
+        assert regressions == []

@@ -18,7 +18,12 @@ Subcommands:
 * ``stats diff A.json B.json`` — compare two metric snapshots
   (``repro-metrics/1``) and print what changed;
 * ``cache info`` / ``cache clear`` — inspect or empty the on-disk compile
-  cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``).
+  cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``);
+* ``serve`` — run the long-lived compile server (unix socket and/or TCP)
+  that keeps caches warm and deduplicates identical in-flight requests;
+* ``client compile|tune|stats|health|shutdown`` — talk to a running
+  server (``client stats --json`` emits the raw ``repro-metrics/1``
+  snapshot).
 """
 
 from __future__ import annotations
@@ -31,32 +36,22 @@ from .codegen import print_tree
 from .core import optimize
 from .machine import analyze_optimized, analyze_scheduled, cpu_time, gpu_time
 from .options import CompileOptions
-from .pipelines import IMAGE_PIPELINES, conv2d, equake, polybench, resnet
+from .pipelines import IMAGE_PIPELINES, polybench
 from .scheduler import HEURISTICS, SchedulerError, schedule_program
+from .workloads import UnknownWorkloadError, build_workload, default_tile_sizes
 
 
 def _build_workload(name: str, size: Optional[int]):
-    if name in IMAGE_PIPELINES:
-        return IMAGE_PIPELINES[name].build(size or 512)
-    if name == "conv2d":
-        s = size or 64
-        return conv2d.build({"H": s, "W": s, "KH": 3, "KW": 3})
-    if name == "conv_bn":
-        s = size or 32
-        return resnet.build_operator_pair(s, s)
-    if name == "equake":
-        return equake.build(n=size or 8000)
-    if name in polybench.BUILDERS:
-        return polybench.BUILDERS[name](size or 256)
-    raise SystemExit(f"unknown workload {name!r}; try `python -m repro list`")
+    try:
+        return build_workload(name, size)
+    except UnknownWorkloadError:
+        raise SystemExit(
+            f"unknown workload {name!r}; try `python -m repro list`"
+        )
 
 
 def _default_tiles(name: str):
-    if name in IMAGE_PIPELINES:
-        return IMAGE_PIPELINES[name].TILE_SIZES
-    if name == "equake":
-        return None
-    return (32, 32)
+    return default_tile_sizes(name)
 
 
 def cmd_list(_args) -> int:
@@ -277,6 +272,147 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import os
+
+    from .serve.server import CompileServer, ServeConfig
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        client_limit=args.client_limit,
+        request_timeout=args.timeout,
+        drain_timeout=args.drain_timeout,
+        cache=None if args.no_cache else args.cache,
+    )
+    server = CompileServer(config)
+
+    async def _run():
+        await server.start()
+        where = []
+        if config.socket_path:
+            where.append(f"unix:{config.socket_path}")
+        if server.tcp_address:
+            where.append(f"tcp:{server.tcp_address[0]}:{server.tcp_address[1]}")
+        print(
+            f"repro-serve listening on {', '.join(where)} "
+            f"(pid {os.getpid()}, {config.workers} workers)",
+            flush=True,
+        )
+        await server.run()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 130
+    print("repro-serve: drained, exiting")
+    return 0
+
+
+def _client_compile(client, args) -> int:
+    out = client.compile(
+        args.workload,
+        size=args.size,
+        target=args.target,
+        tile_sizes=args.tile,
+        startup=args.startup,
+    )
+    print(f"workload:     {out['workload']}")
+    print(f"fingerprint:  {out['fingerprint']}")
+    print(f"tile sizes:   {out.get('tile_sizes')}")
+    print(f"compile time: {out['compile_ms']:.1f} ms (server-side)")
+    print(f"from cache:   {'yes' if out['from_cache'] else 'no'}")
+    print(f"deduped:      {'yes' if out.get('deduped') else 'no'}")
+    if out.get("fusion"):
+        print(f"fusion:       {out['fusion']}")
+    return 0
+
+
+def _client_tune(client, args) -> int:
+    out = client.autotune(
+        args.workload,
+        size=args.size,
+        target=args.target,
+        threads=args.threads,
+        candidates=args.candidates,
+        startup=args.startup,
+    )
+    print(f"workload:        {out['workload']}")
+    print(f"searched:        {out['evaluations']} tilings "
+          f"({out['failures']} infeasible) in {out['tuning_seconds']:.1f} s")
+    print(f"best tile sizes: {tuple(out['best_tile_sizes'])} "
+          f"({out['best_time_ms']:.3f} ms modeled)")
+    return 0
+
+
+def _client_stats(client, args) -> int:
+    import json
+
+    snapshot = client.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    counters = snapshot.get("counters", {})
+    print(f"schema:   {snapshot.get('schema')}")
+    for key in sorted(k for k in counters if k.startswith("serve.")):
+        print(f"  {key:28s} {counters[key]}")
+    gauges = snapshot.get("gauges", {})
+    for key in sorted(k for k in gauges if k.startswith("serve.")):
+        print(f"  {key:28s} {gauges[key]:.3f}")
+    return 0
+
+
+def _client_health(client, _args) -> int:
+    h = client.health()
+    print(f"status:   {h['status']}")
+    print(f"pid:      {h['pid']}")
+    print(f"uptime:   {h['uptime_seconds']:.1f} s")
+    print(f"requests: {h['requests_total']}")
+    return 0
+
+
+def _client_shutdown(client, _args) -> int:
+    out = client.shutdown()
+    print(f"stopping: {out['stopping']} "
+          f"({out['inflight_compiles']} compiles draining)")
+    return 0
+
+
+def cmd_client(args) -> int:
+    from .serve.client import ServeClient, ServeError, wait_for_server
+
+    socket_path, host, port = args.socket, args.host, args.port
+    if socket_path is None and host is None:
+        from .serve.server import default_socket_path
+
+        socket_path = default_socket_path()
+    handlers = {
+        "compile": _client_compile,
+        "tune": _client_tune,
+        "stats": _client_stats,
+        "health": _client_health,
+        "shutdown": _client_shutdown,
+    }
+    try:
+        if args.wait:
+            wait_for_server(
+                socket_path=socket_path, host=host, port=port, timeout=args.wait
+            )
+        with ServeClient(
+            socket_path=socket_path, host=host, port=port, timeout=args.timeout
+        ) as client:
+            return handlers[args.client_command](client, args)
+    except ServeError as exc:
+        print(f"server error ({exc.code}): {exc.message}", file=sys.stderr)
+        return 1
+    except (OSError, TimeoutError) as exc:
+        print(f"cannot reach compile server: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -312,6 +448,72 @@ def main(argv=None) -> int:
         help="show unchanged metrics too",
     )
     diff_p.set_defaults(fn=cmd_stats)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the long-lived compile server"
+    )
+    serve_p.add_argument(
+        "--socket", default=None,
+        help="unix socket path (default <cache dir>/serve.sock "
+        "when no --host is given)",
+    )
+    serve_p.add_argument("--host", default=None, help="also listen on TCP")
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 picks a free one; printed at startup)",
+    )
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="compile worker threads")
+    serve_p.add_argument(
+        "--client-limit", type=int, default=8,
+        help="max in-flight requests per connection",
+    )
+    serve_p.add_argument("--timeout", type=float, default=300.0,
+                         help="per-request timeout in seconds")
+    serve_p.add_argument("--drain-timeout", type=float, default=10.0,
+                         help="seconds to wait for in-flight work at shutdown")
+    serve_p.add_argument(
+        "--cache", default="default",
+        help="compile cache: 'default', a named cache, or a directory",
+    )
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="serve without a result cache")
+    serve_p.set_defaults(fn=cmd_serve)
+
+    client_p = sub.add_parser(
+        "client", help="talk to a running compile server"
+    )
+    client_p.add_argument("--socket", default=None,
+                          help="unix socket path of the server")
+    client_p.add_argument("--host", default=None, help="server TCP host")
+    client_p.add_argument("--port", type=int, default=None, help="server TCP port")
+    client_p.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="wait up to SECONDS for the server to answer health first",
+    )
+    client_p.add_argument("--timeout", type=float, default=600.0,
+                          help="socket timeout in seconds")
+    client_sub = client_p.add_subparsers(dest="client_command", required=True)
+    for verb in ("compile", "tune"):
+        vp = client_sub.add_parser(verb)
+        vp.add_argument("workload")
+        vp.add_argument("--size", type=int, default=None)
+        vp.add_argument("--target", choices=["cpu", "gpu", "npu"],
+                        default="cpu")
+        vp.add_argument("--startup", default="smartfuse")
+        if verb == "compile":
+            vp.add_argument("--tile", type=int, nargs="+", default=None)
+        else:
+            vp.add_argument("--threads", type=int, default=None)
+            vp.add_argument("--candidates", type=int, nargs="+", default=None)
+    stats_cp = client_sub.add_parser("stats")
+    stats_cp.add_argument(
+        "--json", action="store_true",
+        help="emit the raw repro-metrics/1 snapshot",
+    )
+    client_sub.add_parser("health")
+    client_sub.add_parser("shutdown")
+    client_p.set_defaults(fn=cmd_client)
 
     for name, fn in (
         ("optimize", cmd_optimize),

@@ -1,0 +1,228 @@
+"""Wire protocol of the compile server: newline-delimited JSON-RPC.
+
+One request or response per line, UTF-8 JSON, no framing beyond ``\\n``
+(which ``json.dumps`` never emits).  Every message carries the protocol
+tag :data:`PROTOCOL` so either side can reject a stranger speaking on the
+socket, and an ``id`` echoed verbatim in the reply so clients can
+pipeline requests over one connection and match replies out of order.
+
+Requests::
+
+    {"proto": "repro-serve/1", "id": 7, "method": "compile",
+     "params": {"workload": "harris", "size": 512, "target": "cpu",
+                "tile_sizes": [32, 256], "startup": "smartfuse"}}
+
+Responses::
+
+    {"proto": "repro-serve/1", "id": 7, "ok": true,  "result": {...}}
+    {"proto": "repro-serve/1", "id": 7, "ok": false,
+     "error": {"code": "compile-error", "message": "..."}}
+
+Validation is hand-rolled (error lists, same style as
+:mod:`repro.obs.schema`) and runs on *both* ends: the server validates
+every request before touching the compiler, the client validates every
+response before trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Union
+
+#: Protocol tag carried by every message; bump the suffix on any
+#: incompatible change to the message or params layout.
+PROTOCOL = "repro-serve/1"
+
+#: Methods the server accepts.
+METHODS = ("compile", "autotune", "stats", "health", "shutdown")
+
+#: Structured error codes a response may carry.
+ERROR_CODES = (
+    "bad-request",      # malformed message or invalid params
+    "unknown-method",   # method not in METHODS
+    "compile-error",    # the compile itself failed (infeasible tiling...)
+    "autotune-error",   # no feasible candidate, bad grid
+    "timeout",          # per-request timeout expired server-side
+    "overloaded",       # per-client concurrency limit exceeded
+    "draining",         # server is shutting down, not accepting work
+    "internal",         # unexpected server-side exception
+)
+
+#: Hard cap on one message line; a compile request is a few hundred bytes,
+#: a stats reply a few hundred KB — anything near this is abuse.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+_TARGETS = ("cpu", "gpu", "npu")
+
+
+class ProtocolError(ValueError):
+    """A message violated the repro-serve/1 framing or schema."""
+
+
+# -- construction ----------------------------------------------------------
+
+
+def request(
+    method: str, params: Optional[Mapping] = None, id: Union[int, str] = 0
+) -> Dict[str, object]:
+    return {
+        "proto": PROTOCOL,
+        "id": id,
+        "method": method,
+        "params": dict(params or {}),
+    }
+
+
+def ok_response(id: Union[int, str], result: Mapping) -> Dict[str, object]:
+    return {"proto": PROTOCOL, "id": id, "ok": True, "result": dict(result)}
+
+
+def error_response(
+    id: Union[int, str, None], code: str, message: str
+) -> Dict[str, object]:
+    assert code in ERROR_CODES, code
+    return {
+        "proto": PROTOCOL,
+        "id": id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def encode(message: Mapping) -> bytes:
+    """One message as a newline-terminated UTF-8 JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: Union[bytes, str]) -> Dict[str, object]:
+    """Parse one line into a message dict; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+        try:
+            line = line.decode()
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"not UTF-8: {exc}")
+    try:
+        obj = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"not JSON: {exc}")
+    if not isinstance(obj, dict):
+        raise ProtocolError("message is not a JSON object")
+    return obj
+
+
+# -- validation ------------------------------------------------------------
+
+
+def _check_envelope(obj: object) -> List[str]:
+    if not isinstance(obj, Mapping):
+        return ["message is not an object"]
+    errors = []
+    if obj.get("proto") != PROTOCOL:
+        errors.append(f"proto is {obj.get('proto')!r}, expected {PROTOCOL!r}")
+    if not isinstance(obj.get("id"), (int, str)) or isinstance(
+        obj.get("id"), bool
+    ):
+        errors.append(f"id must be an int or string, got {obj.get('id')!r}")
+    return errors
+
+
+def validate_request(obj: object) -> List[str]:
+    """Errors in a request message (empty list = valid)."""
+    errors = _check_envelope(obj)
+    if not isinstance(obj, Mapping):
+        return errors
+    method = obj.get("method")
+    if not isinstance(method, str):
+        errors.append(f"method must be a string, got {method!r}")
+        return errors
+    params = obj.get("params", {})
+    if not isinstance(params, Mapping):
+        errors.append("params must be an object")
+        return errors
+    if method in METHODS:
+        errors.extend(validate_params(method, params))
+    return errors
+
+
+def validate_params(method: str, params: Mapping) -> List[str]:
+    """Errors in one method's params (empty list = valid)."""
+    errors: List[str] = []
+
+    def _opt_int(key, minimum=1):
+        v = params.get(key)
+        if v is None:
+            return
+        if not isinstance(v, int) or isinstance(v, bool) or v < minimum:
+            errors.append(f"{key} must be an int >= {minimum}, got {v!r}")
+
+    if method in ("compile", "autotune"):
+        workload = params.get("workload")
+        if not isinstance(workload, str) or not workload:
+            errors.append(f"workload must be a non-empty string, got {workload!r}")
+        _opt_int("size")
+        target = params.get("target", "cpu")
+        if target not in _TARGETS:
+            errors.append(f"target must be one of {_TARGETS}, got {target!r}")
+        startup = params.get("startup", "smartfuse")
+        if not isinstance(startup, str):
+            errors.append(f"startup must be a string, got {startup!r}")
+    if method == "compile":
+        tiles = params.get("tile_sizes")
+        if tiles is not None and (
+            not isinstance(tiles, (list, tuple))
+            or not tiles
+            or any(
+                not isinstance(t, int) or isinstance(t, bool) or t <= 0
+                for t in tiles
+            )
+        ):
+            errors.append(
+                f"tile_sizes must be a non-empty array of positive ints, "
+                f"got {tiles!r}"
+            )
+    if method == "autotune":
+        candidates = params.get("candidates")
+        if candidates is not None and (
+            not isinstance(candidates, (list, tuple))
+            or not candidates
+            or any(
+                not isinstance(c, int) or isinstance(c, bool) or c <= 0
+                for c in candidates
+            )
+        ):
+            errors.append(
+                f"candidates must be a non-empty array of positive ints, "
+                f"got {candidates!r}"
+            )
+        _opt_int("threads")
+        _opt_int("dims")
+    return errors
+
+
+def validate_response(obj: object) -> List[str]:
+    """Errors in a response message (empty list = valid)."""
+    errors = _check_envelope(obj)
+    if not isinstance(obj, Mapping):
+        return errors
+    ok = obj.get("ok")
+    if not isinstance(ok, bool):
+        errors.append(f"ok must be a bool, got {ok!r}")
+        return errors
+    if ok:
+        if not isinstance(obj.get("result"), Mapping):
+            errors.append("ok response must carry a result object")
+    else:
+        err = obj.get("error")
+        if not isinstance(err, Mapping):
+            errors.append("error response must carry an error object")
+        else:
+            if err.get("code") not in ERROR_CODES:
+                errors.append(f"unknown error code {err.get('code')!r}")
+            if not isinstance(err.get("message"), str):
+                errors.append("error message must be a string")
+    return errors

@@ -1,0 +1,643 @@
+"""The compile server: a long-lived asyncio daemon over the batch driver.
+
+Every piece the daemon composes already exists in the library —
+content-addressed fingerprints, the (now thread-safe) two-tier
+:class:`~repro.service.CompileCache`, the deduplicating
+:func:`~repro.service.compile_batch` driver, presburger memo tables and
+the :class:`~repro.obs.MetricsRegistry` — what the server adds is *state
+that stays warm*: one process whose LRU, memo tables and metrics survive
+across requests, instead of every invocation paying process startup and
+re-warming from disk.
+
+Architecture (single event loop + bounded worker pool):
+
+* **Transport** — newline-delimited JSON-RPC (:mod:`repro.serve.protocol`)
+  over a unix socket and/or TCP.  One connection may pipeline requests;
+  each request is handled by its own task and replies carry the request
+  id, so they may complete out of order.
+* **Single-flight dedup** — identical compile requests (same normalized
+  workload/size/target/tiles/startup) that arrive while one is already
+  compiling all await the *same* task (:mod:`repro.serve.singleflight`);
+  only the leader touches the worker pool.  ``serve.dedup_hits`` counts
+  the followers.
+* **Worker pool** — actual compiles run on a bounded
+  ``ThreadPoolExecutor`` and route through ``compile_batch(mode="serial",
+  cache=...)``, so every request shares the in-process LRU, the disk
+  store and the process-wide memo tables.
+* **Limits** — per-client (per-connection) concurrency caps answer
+  ``overloaded`` instead of queueing unboundedly; per-request timeouts
+  answer ``timeout`` (the compile keeps running server-side and lands in
+  the cache — a timeout waiter's work is not wasted).
+* **Lifecycle** — SIGTERM/SIGINT (or a ``shutdown`` request) stop the
+  listeners, let in-flight requests finish (bounded by
+  ``drain_timeout``), then close connections and the pool.
+* **Stats** — the ``stats`` method returns a live ``repro-metrics/1``
+  snapshot straight from the registry: request/dedup/cache-hit counters,
+  latency histograms, and every span/counter the instrumented compiles
+  produced.
+
+The registry and all bookkeeping are touched only on the event-loop
+thread; the worker threads hand their per-compile
+:class:`~repro.obs.CompileReport` back for absorption, so no metric
+needs a lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+from ..obs import MetricsRegistry
+from . import protocol
+from .singleflight import SingleFlight
+
+#: Histogram bucket bounds for request/compile latencies, in milliseconds.
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+
+def default_socket_path() -> str:
+    """Default unix-socket path, next to the default compile cache."""
+    from ..service.cache import default_cache_dir
+
+    return os.path.join(default_cache_dir(), "serve.sock")
+
+
+class RequestError(Exception):
+    """A request failed with a structured protocol error."""
+
+    def __init__(self, code: str, message: str):
+        assert code in protocol.ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class ServeConfig:
+    """Validated daemon configuration.
+
+    At least one endpoint is always live: with neither ``socket_path``
+    nor ``host`` given, the server listens on :func:`default_socket_path`.
+    ``cache`` accepts anything :func:`repro.service.cache.resolve_cache`
+    does (an instance, ``"default"``, a named cache, a directory) or
+    ``None`` to serve without a result cache.
+    """
+
+    socket_path: Optional[str] = None
+    host: Optional[str] = None
+    port: int = 0
+    workers: int = 2
+    client_limit: int = 8
+    request_timeout: float = 300.0
+    drain_timeout: float = 10.0
+    cache: object = "default"
+
+    def __post_init__(self):
+        if self.socket_path is None and self.host is None:
+            self.socket_path = default_socket_path()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.client_limit < 1:
+            raise ValueError(
+                f"client_limit must be >= 1, got {self.client_limit!r}"
+            )
+        if self.request_timeout <= 0 or self.drain_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+
+
+class CompileServer:
+    """The daemon.  ``compile_fn``/``autotune_fn`` are injectable for
+    tests: synchronous callables run on the worker pool, taking the
+    normalized params dict and returning ``(summary_dict, report|None)``."""
+
+    def __init__(self, config: ServeConfig, compile_fn=None, autotune_fn=None):
+        self.config = config
+        if config.cache is None:
+            self.cache = None
+        else:
+            from ..service.cache import resolve_cache
+
+            self.cache = resolve_cache(config.cache)
+        self.registry = MetricsRegistry()
+        self._compile_fn = compile_fn or self._compile_workload
+        self._autotune_fn = autotune_fn or self._autotune_workload
+        self._flight = SingleFlight()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._servers = []
+        self._writers = set()
+        self._tasks = set()
+        self._conn_tasks = set()
+        self._connections = 0
+        self._active_compiles = 0
+        self._stopping = asyncio.Event()
+        self._started_at = time.monotonic()
+        self.tcp_address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the configured endpoints and start accepting requests."""
+        self._started_at = time.monotonic()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve-worker",
+        )
+        if self.config.socket_path:
+            path = self.config.socket_path
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            try:
+                os.unlink(path)  # stale socket from a dead server
+            except OSError:
+                pass
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._serve_connection, path=path,
+                    limit=protocol.MAX_LINE_BYTES,
+                )
+            )
+        if self.config.host is not None:
+            srv = await asyncio.start_server(
+                self._serve_connection,
+                host=self.config.host,
+                port=self.config.port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+            self._servers.append(srv)
+            self.tcp_address = srv.sockets[0].getsockname()[:2]
+        self.registry.meta.update(
+            {
+                "service": "repro-serve",
+                "protocol": protocol.PROTOCOL,
+                "pid": os.getpid(),
+                "socket": self.config.socket_path,
+                "tcp": list(self.tcp_address) if self.tcp_address else None,
+                "workers": self.config.workers,
+            }
+        )
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (idempotent, loop-thread only)."""
+        self._stopping.set()
+
+    async def run(self) -> None:
+        """``start`` + serve until shutdown/SIGTERM/SIGINT + drain."""
+        if not self._servers:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or platform without signal support
+        try:
+            await self._stopping.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await self.drain()
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, tear down."""
+        for srv in self._servers:
+            srv.close()
+        for srv in self._servers:
+            await srv.wait_closed()
+        self._servers = []
+        pending = [t for t in self._tasks if not t.done()]
+        if pending:
+            _, still = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout
+            )
+            for t in still:
+                t.cancel()
+        for writer in list(self._writers):
+            writer.close()
+        # Let connection loops see EOF and exit on their own before the
+        # loop shuts down, so teardown never cancels them mid-readline.
+        loops = [t for t in self._conn_tasks if not t.done()]
+        if loops:
+            _, still = await asyncio.wait(loops, timeout=2.0)
+            for t in still:
+                t.cancel()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.config.socket_path:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+
+    # -- connection handling -----------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self._connections += 1
+        self._conn_tasks.add(asyncio.current_task())
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        client = {"inflight": 0}
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    # Oversized line or reset: answer if possible, drop.
+                    await self._write(
+                        writer,
+                        write_lock,
+                        protocol.error_response(
+                            None, "bad-request", "oversized or broken line"
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = loop.create_task(
+                    self._handle_line(line, writer, write_lock, client)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            self._conn_tasks.discard(asyncio.current_task())
+            self._connections -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _write(self, writer, write_lock, message: dict) -> None:
+        try:
+            async with write_lock:
+                writer.write(protocol.encode(message))
+                await writer.drain()
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # client went away; nothing to tell it
+
+    async def _handle_line(self, line, writer, write_lock, client) -> None:
+        t0 = perf_counter()
+        rid = None
+        method = None
+        try:
+            msg = protocol.decode(line)
+            rid = msg.get("id")
+            if not isinstance(rid, (int, str)) or isinstance(rid, bool):
+                rid = None
+            errors = protocol.validate_request(msg)
+            if errors:
+                raise RequestError("bad-request", "; ".join(errors))
+            method = msg["method"]
+            response = protocol.ok_response(
+                rid, await self._dispatch(method, msg["params"], client)
+            )
+        except protocol.ProtocolError as exc:
+            self.registry.inc("serve.bad_requests")
+            response = protocol.error_response(rid, "bad-request", str(exc))
+        except RequestError as exc:
+            if exc.code == "bad-request":
+                self.registry.inc("serve.bad_requests")
+            response = protocol.error_response(rid, exc.code, exc.message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.registry.inc("serve.internal_errors")
+            response = protocol.error_response(
+                rid, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        self.registry.observe(
+            "serve.request_ms", (perf_counter() - t0) * 1e3, LATENCY_BUCKETS_MS
+        )
+        await self._write(writer, write_lock, response)
+
+    async def _dispatch(self, method: str, params: dict, client) -> dict:
+        self.registry.inc("serve.requests")
+        self.registry.inc(f"serve.requests.{method}")
+        if method not in protocol.METHODS:
+            raise RequestError("unknown-method", f"unknown method {method!r}")
+        if method == "health":
+            return self._health()
+        if method == "stats":
+            return self._stats()
+        if method == "shutdown":
+            return self._shutdown()
+        # compile / autotune: real work, subject to draining and limits.
+        if self._stopping.is_set():
+            self.registry.inc("serve.rejected_draining")
+            raise RequestError("draining", "server is shutting down")
+        if client["inflight"] >= self.config.client_limit:
+            self.registry.inc("serve.rejected_overloaded")
+            raise RequestError(
+                "overloaded",
+                f"client has {client['inflight']} requests in flight "
+                f"(limit {self.config.client_limit})",
+            )
+        client["inflight"] += 1
+        try:
+            if method == "compile":
+                return await self._rpc_compile(params)
+            return await self._rpc_autotune(params)
+        finally:
+            client["inflight"] -= 1
+
+    # -- methods -----------------------------------------------------------
+
+    def _normalize_compile(self, params: dict) -> Dict[str, object]:
+        from ..scheduler import HEURISTICS
+        from ..workloads import default_tile_sizes, is_workload
+
+        name = params["workload"]
+        if not is_workload(name):
+            raise RequestError("bad-request", f"unknown workload {name!r}")
+        startup = params.get("startup", "smartfuse")
+        if startup not in HEURISTICS:
+            raise RequestError(
+                "bad-request",
+                f"unknown startup heuristic {startup!r}; "
+                f"choose from {HEURISTICS}",
+            )
+        tiles = params.get("tile_sizes")
+        if tiles is None:
+            tiles = default_tile_sizes(name)
+        return {
+            "workload": name,
+            "size": params.get("size"),
+            "target": params.get("target", "cpu"),
+            "tile_sizes": list(tiles) if tiles is not None else None,
+            "startup": startup,
+        }
+
+    async def _rpc_compile(self, params: dict) -> dict:
+        norm = self._normalize_compile(params)
+        key = "compile:" + json.dumps(norm, sort_keys=True)
+        task, leader = self._flight.task(key, lambda: self._lead(norm, self._compile_fn))
+        if not leader:
+            self.registry.inc("serve.dedup_hits")
+        summary = await self._await_flight(task)
+        if summary.get("error"):
+            raise RequestError("compile-error", summary["error"])
+        result = dict(summary)
+        result["deduped"] = not leader
+        return result
+
+    async def _rpc_autotune(self, params: dict) -> dict:
+        norm = self._normalize_compile({**params, "tile_sizes": None})
+        norm.pop("tile_sizes")
+        norm["threads"] = params.get("threads", 32)
+        norm["dims"] = params.get("dims", 2)
+        candidates = params.get("candidates")
+        norm["candidates"] = (
+            list(candidates) if candidates is not None else [8, 16, 32, 64, 128]
+        )
+        key = "autotune:" + json.dumps(norm, sort_keys=True)
+        task, leader = self._flight.task(
+            key, lambda: self._lead(norm, self._autotune_fn)
+        )
+        if not leader:
+            self.registry.inc("serve.dedup_hits")
+        summary = await self._await_flight(task)
+        if summary.get("error"):
+            raise RequestError("autotune-error", summary["error"])
+        result = dict(summary)
+        result["deduped"] = not leader
+        return result
+
+    async def _await_flight(self, task) -> dict:
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(task), self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            self.registry.inc("serve.timeouts")
+            raise RequestError(
+                "timeout",
+                f"request did not finish within {self.config.request_timeout}s "
+                "(the compile continues server-side and will hit the cache)",
+            )
+
+    async def _lead(self, norm: dict, fn) -> dict:
+        """The single-flight leader: run ``fn`` on the worker pool and fold
+        its observations into the live registry."""
+        loop = asyncio.get_running_loop()
+        self._active_compiles += 1
+        try:
+            summary, report = await loop.run_in_executor(self._executor, fn, norm)
+        finally:
+            self._active_compiles -= 1
+        if report is not None:
+            self.registry.absorb_report(report)
+        if summary.get("error"):
+            self.registry.inc("serve.compile_errors")
+        elif summary.get("from_cache"):
+            self.registry.inc("serve.cache_hits")
+        else:
+            self.registry.inc("serve.compiles")
+        if "compile_ms" in summary:
+            self.registry.observe(
+                "serve.compile_ms", summary["compile_ms"], LATENCY_BUCKETS_MS
+            )
+        return summary
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._stopping.is_set() else "ok",
+            "protocol": protocol.PROTOCOL,
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "connections": self._connections,
+            "inflight_compiles": self._active_compiles,
+            "requests_total": self.registry.counters.get("serve.requests", 0),
+        }
+
+    def _stats(self) -> dict:
+        """A live ``repro-metrics/1`` snapshot of everything observed."""
+        self.registry.set_gauge(
+            "serve.uptime_seconds", time.monotonic() - self._started_at
+        )
+        self.registry.set_gauge("serve.connections", self._connections)
+        self.registry.set_gauge("serve.inflight_compiles", self._active_compiles)
+        self.registry.set_gauge("serve.inflight_keys", len(self._flight))
+        if self.cache is not None:
+            for name, value in self.cache.stats.as_dict().items():
+                self.registry.set_gauge(f"serve.cache.{name}", value)
+        return self.registry.snapshot()
+
+    def _shutdown(self) -> dict:
+        self.request_shutdown()
+        return {"stopping": True, "inflight_compiles": self._active_compiles}
+
+    # -- the real work (worker-pool threads) --------------------------------
+
+    def _compile_workload(self, norm: dict):
+        """Compile one normalized request through the batch driver.
+
+        Runs on a worker thread; returns ``(summary, report)``.  The
+        driver sees the shared thread-safe cache, so a warm fingerprint
+        never compiles and a fresh result is stored for every later
+        request (and process)."""
+        from ..options import CompileOptions
+        from ..service import instrument
+        from ..service.driver import CompileRequest, compile_batch
+        from ..workloads import build_workload
+
+        t0 = perf_counter()
+        with instrument.collect() as report:
+            program = build_workload(norm["workload"], norm["size"])
+            request = CompileRequest(
+                program,
+                target=norm["target"],
+                tile_sizes=norm["tile_sizes"],
+                startup=norm["startup"],
+            )
+            (outcome,) = compile_batch(
+                [request],
+                options=CompileOptions(mode="serial", cache=self.cache),
+            )
+        summary = {
+            "workload": norm["workload"],
+            "size": norm["size"],
+            "target": norm["target"],
+            "startup": norm["startup"],
+            "fingerprint": outcome.fingerprint,
+            "from_cache": outcome.from_cache,
+            "compile_ms": (perf_counter() - t0) * 1e3,
+            "error": outcome.error,
+        }
+        if outcome.ok:
+            summary["tile_sizes"] = (
+                list(outcome.result.tile_sizes)
+                if outcome.result.tile_sizes is not None
+                else None
+            )
+            summary["fusion"] = outcome.result.fusion_summary()
+        return summary, report
+
+    def _autotune_workload(self, norm: dict):
+        """Tile-size search for one normalized request (worker thread)."""
+        from ..options import CompileOptions
+        from ..scheduler.autotune import autotune_tile_sizes
+        from ..service import instrument
+        from ..workloads import build_workload
+
+        t0 = perf_counter()
+        with instrument.collect() as report:
+            program = build_workload(norm["workload"], norm["size"])
+            try:
+                tuned = autotune_tile_sizes(
+                    program,
+                    threads=norm["threads"],
+                    candidates=tuple(norm["candidates"]),
+                    dims=norm["dims"],
+                    options=CompileOptions(
+                        target=norm["target"],
+                        startup=norm["startup"],
+                        mode="serial",
+                        cache=self.cache,
+                    ),
+                )
+            except Exception as exc:
+                summary = {
+                    "workload": norm["workload"],
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "compile_ms": (perf_counter() - t0) * 1e3,
+                }
+                return summary, report
+        summary = {
+            "workload": norm["workload"],
+            "size": norm["size"],
+            "target": norm["target"],
+            "best_tile_sizes": list(tuned.best_sizes),
+            "best_time_ms": tuned.best_time * 1e3,
+            "evaluations": len(tuned.evaluations),
+            "failures": len(tuned.failures),
+            "tuning_seconds": tuned.tuning_seconds,
+            "from_cache": False,
+            "compile_ms": (perf_counter() - t0) * 1e3,
+            "error": None,
+        }
+        return summary, report
+
+
+class ServerThread:
+    """A :class:`CompileServer` on a background thread with its own loop.
+
+    The harness tests, ``bench_serve.py`` and interactive sessions all
+    need a server *next to* blocking client code; this wraps the
+    start/ready/stop handshake::
+
+        with ServerThread(ServeConfig(socket_path=p, cache=cache)) as st:
+            client = ServeClient(socket_path=p)
+            ...
+    """
+
+    def __init__(self, config: ServeConfig, **server_kwargs):
+        self.server = CompileServer(config, **server_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 15.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("compile server did not start in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"compile server failed to start: {self._error!r}"
+            ) from self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup/run failures
+            if self._error is None:
+                self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.run()
+
+    def stop(self, timeout: float = 15.0) -> None:
+        if self._thread is None:
+            return
+        if self._thread.is_alive() and self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout)
+
+    @property
+    def tcp_address(self) -> Optional[Tuple[str, int]]:
+        return self.server.tcp_address
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

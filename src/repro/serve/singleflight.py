@@ -1,0 +1,67 @@
+"""Single-flight deduplication of identical in-flight work.
+
+The compile server's defining trick: when eight clients request the same
+fingerprint at once, one compile runs and the other seven *wait for that
+same compile* instead of queueing seven redundant ones behind it.  The
+result cache alone cannot do this — a cache only helps once the first
+compile has finished, which under a thundering herd is exactly too late.
+
+The mechanics are the classic ``singleflight`` group (Go's
+``golang.org/x/sync/singleflight``, sccache's in-flight map) in asyncio
+terms: a dict from key to the leader's :class:`asyncio.Task`.  All access
+happens on the event loop, so the dict needs no lock.  Followers must
+await the shared task through :func:`asyncio.shield` — a follower's
+timeout cancels only its own wait, never the leader's compile — and the
+entry is removed the moment the task completes, so a *failed* flight is
+never re-served: the next request for the same key starts a fresh one
+(errors don't poison anything).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple
+
+
+def _retrieve(task: "asyncio.Task") -> None:
+    # Touch the exception so a flight whose every waiter timed out does
+    # not warn "Task exception was never retrieved" at GC time.
+    if not task.cancelled():
+        task.exception()
+
+
+class SingleFlight:
+    """Key-addressed deduplication of concurrent coroutine work."""
+
+    def __init__(self):
+        self._inflight: Dict[str, asyncio.Task] = {}
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._inflight
+
+    def task(
+        self, key: str, factory: Callable[[], Awaitable]
+    ) -> Tuple["asyncio.Task", bool]:
+        """The in-flight task for ``key``, creating it via ``factory``.
+
+        Returns ``(task, is_leader)``: the leader's call created the task
+        (``factory`` was invoked), followers share the existing one.
+        Await it as ``await asyncio.shield(task)`` so follower timeouts
+        don't cancel the shared work.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            return existing, False
+        task = asyncio.get_running_loop().create_task(self._lead(key, factory))
+        task.add_done_callback(_retrieve)
+        self._inflight[key] = task
+        return task, True
+
+    async def _lead(self, key: str, factory: Callable[[], Awaitable]):
+        try:
+            return await factory()
+        finally:
+            self._inflight.pop(key, None)

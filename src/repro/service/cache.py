@@ -18,6 +18,13 @@ store was cleared, a batch worker — starts with the hot ``apply_range``
 /``tile_footprint``/``write_footprint`` entries already resident.  Memo
 snapshots are an optimisation only and are loaded with the same
 corruption-tolerant path as results.
+
+A single :class:`CompileCache` instance is safe to share across threads:
+the compile server's worker pool hammers one shared cache, so the memory
+tier (the LRU ``OrderedDict`` and its byte accounting) and the stats
+counters are guarded by an internal lock.  Disk I/O and (un)pickling
+happen outside the lock — concurrent disk stores are already safe via
+atomic ``os.replace``.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -91,21 +99,35 @@ class CompileCache:
             self.cache_dir = default_cache_dir()
         self._mem: "OrderedDict[str, bytes]" = OrderedDict()
         self._mem_bytes = 0
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- lookup ------------------------------------------------------------
 
     def get(self, key: str):
         """Return a fresh copy of the cached value, or ``None`` on miss."""
-        blob = self._mem.get(key)
+        with self._lock:
+            blob = self._mem.get(key)
+            if blob is not None:
+                self._mem.move_to_end(key)
         if blob is not None:
-            self._mem.move_to_end(key)
             try:
                 value = pickle.loads(blob)
             except Exception:
-                self._evict_memory(key)
-                self.stats.errors += 1
+                with self._lock:
+                    self._evict_memory(key)
+                    self.stats.errors += 1
             else:
-                self.stats.memory_hits += 1
+                with self._lock:
+                    self.stats.memory_hits += 1
                 return value
         if self.persistent:
             blob = self._load_disk(key)
@@ -114,49 +136,58 @@ class CompileCache:
                     value = pickle.loads(blob)
                 except Exception:
                     self._evict_disk(key)
-                    self.stats.errors += 1
+                    with self._lock:
+                        self.stats.errors += 1
                 else:
-                    self.stats.disk_hits += 1
-                    self._insert_memory(key, blob)
+                    with self._lock:
+                        self.stats.disk_hits += 1
+                        self._insert_memory(key, blob)
                     return value
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return None
 
     def put(self, key: str, value) -> None:
         try:
             blob = pickle.dumps(value)
         except Exception:
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.errors += 1
             return
-        self.stats.stores += 1
-        self._insert_memory(key, blob)
+        with self._lock:
+            self.stats.stores += 1
+            self._insert_memory(key, blob)
         if self.persistent:
             self._store_disk(key, blob)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._mem or (
-            self.persistent and os.path.exists(self._path(key))
-        )
+        with self._lock:
+            if key in self._mem:
+                return True
+        return self.persistent and os.path.exists(self._path(key))
 
     # -- memory tier -------------------------------------------------------
 
     def _insert_memory(self, key: str, blob: bytes) -> None:
-        if key in self._mem:
-            self._mem_bytes -= len(self._mem.pop(key))
-        self._mem[key] = blob
-        self._mem_bytes += len(blob)
-        while self._mem and (
-            len(self._mem) > self.max_entries or self._mem_bytes > self.max_bytes
-        ):
-            old_key, old_blob = self._mem.popitem(last=False)
-            self._mem_bytes -= len(old_blob)
-            self.stats.memory_evictions += 1
+        with self._lock:
+            if key in self._mem:
+                self._mem_bytes -= len(self._mem.pop(key))
+            self._mem[key] = blob
+            self._mem_bytes += len(blob)
+            while self._mem and (
+                len(self._mem) > self.max_entries
+                or self._mem_bytes > self.max_bytes
+            ):
+                old_key, old_blob = self._mem.popitem(last=False)
+                self._mem_bytes -= len(old_blob)
+                self.stats.memory_evictions += 1
 
     def _evict_memory(self, key: str) -> None:
-        blob = self._mem.pop(key, None)
-        if blob is not None:
-            self._mem_bytes -= len(blob)
-            self.stats.memory_evictions += 1
+        with self._lock:
+            blob = self._mem.pop(key, None)
+            if blob is not None:
+                self._mem_bytes -= len(blob)
+                self.stats.memory_evictions += 1
 
     # -- memo store --------------------------------------------------------
 
@@ -172,11 +203,14 @@ class CompileCache:
                 value = pickle.loads(blob)
             except Exception:
                 self._evict_disk(key, kind="memos")
-                self.stats.errors += 1
+                with self._lock:
+                    self.stats.errors += 1
             else:
-                self.stats.memo_hits += 1
+                with self._lock:
+                    self.stats.memo_hits += 1
                 return value
-        self.stats.memo_misses += 1
+        with self._lock:
+            self.stats.memo_misses += 1
         return None
 
     def put_memos(self, key: str, snapshot) -> None:
@@ -187,9 +221,11 @@ class CompileCache:
         try:
             blob = pickle.dumps(snapshot)
         except Exception:
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.errors += 1
             return
-        self.stats.memo_stores += 1
+        with self._lock:
+            self.stats.memo_stores += 1
         self._store_disk(key, blob, kind="memos")
 
     # -- disk tier ---------------------------------------------------------
@@ -215,7 +251,8 @@ class CompileCache:
             return None
         except Exception:
             # Corrupted, truncated or stale entry: evict, never crash.
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.errors += 1
             self._evict_disk(key, kind)
             return None
 
@@ -238,14 +275,16 @@ class CompileCache:
                 raise
         except Exception:
             # A read-only or full cache dir degrades to memory-only.
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.errors += 1
 
     def _evict_disk(self, key: str, kind: str = "results") -> None:
         try:
             os.unlink(self._path(key, kind))
-            self.stats.disk_evictions += 1
         except OSError:
-            pass
+            return
+        with self._lock:
+            self.stats.disk_evictions += 1
 
     # -- maintenance -------------------------------------------------------
 
@@ -254,8 +293,9 @@ class CompileCache:
         returns the number of disk entries removed."""
         removed = 0
         if results:
-            self._mem.clear()
-            self._mem_bytes = 0
+            with self._lock:
+                self._mem.clear()
+                self._mem_bytes = 0
             removed += self._clear_kind("results")
         if memos:
             removed += self._clear_kind("memos")
@@ -296,6 +336,10 @@ class CompileCache:
     def info(self) -> Dict[str, object]:
         entries = list(self._disk_entries())
         memo_entries = list(self._disk_entries("memos"))
+        with self._lock:
+            memory_entries = len(self._mem)
+            memory_bytes = self._mem_bytes
+            stats = self.stats.as_dict()
         return {
             "cache_dir": self.cache_dir,
             "schema_version": SCHEMA_VERSION,
@@ -303,9 +347,9 @@ class CompileCache:
             "disk_bytes": sum(size for _, size in entries),
             "memo_entries": len(memo_entries),
             "memo_bytes": sum(size for _, size in memo_entries),
-            "memory_entries": len(self._mem),
-            "memory_bytes": self._mem_bytes,
-            "stats": self.stats.as_dict(),
+            "memory_entries": memory_entries,
+            "memory_bytes": memory_bytes,
+            "stats": stats,
         }
 
 

@@ -198,6 +198,32 @@ def _default_workers(n_tasks: int) -> int:
     return max(1, min(n_tasks, os.cpu_count() or 1))
 
 
+def _abort_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a process pool down *now*, without waiting for its compiles.
+
+    ``ProcessPoolExecutor.__exit__`` joins every worker, so a
+    KeyboardInterrupt mid-batch would hang until the slowest compile
+    finishes (or leak workers if the driver is killed).  Instead: cancel
+    everything still queued, terminate the live worker processes, and
+    reap them with a bounded join so no zombies linger.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in list(procs):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in list(procs):
+        try:
+            proc.join(timeout=1.0)
+        except Exception:
+            pass
+
+
 def _dispatch(
     requests: List[CompileRequest],
     mode: str,
@@ -229,23 +255,36 @@ def _dispatch(
                 pickle.dumps((r, memo_dir, observe, trace)) for r in requests
             ]
             t0 = time.perf_counter()
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                raw = list(pool.map(_worker, payloads))
-            results = []
-            for b in raw:
-                result, error, report = pickle.loads(b)
-                if report is not None:
-                    # Worker-process perf_counter epochs are not
-                    # comparable to ours: rebase onto the dispatch start.
-                    instrument.merge_report(report, at=t0)
-                    instrument.count("driver.worker_reports_merged")
-                results.append((result, error))
-            return results
+            pool = ProcessPoolExecutor(max_workers=workers)
         except Exception:
             if mode == "process":
                 raise
+            payloads = None
             # auto: an unpicklable program or a sandboxed interpreter
             # (no fork/semaphores) degrades to threads below.
+        if payloads is not None:
+            try:
+                futures = [pool.submit(_worker, p) for p in payloads]
+                raw = [f.result() for f in futures]
+            except BaseException as exc:
+                # A KeyboardInterrupt (or any dispatch failure) must not
+                # wait on — or orphan — the in-flight workers.
+                _abort_pool(pool)
+                if mode == "process" or not isinstance(exc, Exception):
+                    raise
+                # auto + ordinary failure: degrade to threads below.
+            else:
+                pool.shutdown()
+                results = []
+                for b in raw:
+                    result, error, report = pickle.loads(b)
+                    if report is not None:
+                        # Worker-process perf_counter epochs are not
+                        # comparable to ours: rebase onto the dispatch start.
+                        instrument.merge_report(report, at=t0)
+                        instrument.count("driver.worker_reports_merged")
+                    results.append((result, error))
+                return results
     # Threads share the process-wide memo tables: load once, spill once.
     _load_batch_memos(requests, memo_dir)
 

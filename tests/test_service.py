@@ -11,6 +11,7 @@ import os
 import pickle
 import subprocess
 import sys
+import threading
 
 import pytest
 
@@ -297,3 +298,113 @@ def test_optimize_result_pickle_round_trip():
     assert clone.fusion_summary() == result.fusion_summary()
     assert clone.tile_sizes == result.tile_sizes
     assert clone.tree.pretty() == result.tree.pretty()
+
+
+# -- thread safety and interrupt handling ----------------------------------
+
+
+def test_cache_memory_tier_is_thread_safe(tmp_path):
+    """Concurrent get/put from many threads: no exceptions, no corruption,
+    LRU bound respected, and the hit/miss ledger stays consistent."""
+    cache = CompileCache(cache_dir=str(tmp_path), max_entries=8)
+    n_threads, n_ops = 8, 150
+    errors = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(seed):
+        try:
+            barrier.wait(10)
+            for i in range(n_ops):
+                key = f"key-{(seed * 7 + i) % 24}"
+                value = cache.get(key)
+                if value is None:
+                    cache.put(key, {"payload": key})
+                else:
+                    assert value["payload"] == key
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(s,)) for s in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+    assert not errors
+    # every get() was ledgered exactly once, under the lock
+    stats = cache.stats
+    assert stats.hits + stats.misses == n_threads * n_ops
+    assert stats.stores == stats.misses  # each miss was followed by a put
+    info = cache.info()
+    assert info["memory_entries"] <= 8
+    assert stats.memory_evictions > 0  # 24 keys through an 8-slot LRU
+
+
+def test_compile_batch_process_interrupt_aborts_pool(monkeypatch):
+    """A KeyboardInterrupt mid-batch must terminate the worker pool and
+    re-raise — not hang joining workers or orphan them."""
+    from repro.service import driver
+
+    events = []
+
+    class FakeProcess:
+        def __init__(self, pid):
+            self.pid = pid
+
+        def terminate(self):
+            events.append(("terminate", self.pid))
+
+        def join(self, timeout=None):
+            events.append(("join", self.pid))
+
+    class FakeFuture:
+        def result(self):
+            raise KeyboardInterrupt
+
+    class FakePool:
+        def __init__(self, max_workers=None):
+            self._processes = {pid: FakeProcess(pid) for pid in (101, 102)}
+
+        def submit(self, fn, payload):
+            return FakeFuture()
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            events.append(("shutdown", wait, cancel_futures))
+
+    monkeypatch.setattr(driver, "ProcessPoolExecutor", FakePool)
+    requests = [
+        CompileRequest(build_conv(16, 16)),
+        CompileRequest(build_conv(24, 24)),
+    ]
+    with pytest.raises(KeyboardInterrupt):
+        compile_batch(requests, mode="process")
+    assert ("shutdown", False, True) in events  # cancel_futures, no wait
+    assert ("terminate", 101) in events and ("terminate", 102) in events
+    assert ("join", 101) in events and ("join", 102) in events
+
+
+def test_compile_batch_auto_mode_degrades_but_reraises_interrupt(monkeypatch):
+    """auto mode falls back to threads on ordinary pool failures, but a
+    KeyboardInterrupt still aborts the pool and propagates."""
+    from repro.service import driver
+
+    class FakeFuture:
+        def result(self):
+            raise KeyboardInterrupt
+
+    class FakePool:
+        def __init__(self, max_workers=None):
+            self._processes = {}
+
+        def submit(self, fn, payload):
+            return FakeFuture()
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
+
+    monkeypatch.setattr(driver, "ProcessPoolExecutor", FakePool)
+    requests = [
+        CompileRequest(build_conv(16, 16)),
+        CompileRequest(build_conv(24, 24)),
+    ]
+    with pytest.raises(KeyboardInterrupt):
+        compile_batch(requests, mode="auto")

@@ -17,8 +17,13 @@ Subcommands:
   self/total time per pass;
 * ``stats diff A.json B.json`` — compare two metric snapshots
   (``repro-metrics/1``) and print what changed;
-* ``cache info`` / ``cache clear`` — inspect or empty the on-disk compile
-  cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro``);
+* ``cache info`` / ``cache clear`` / ``cache gc`` — inspect, empty or
+  garbage-collect the on-disk compile cache (``$REPRO_CACHE_DIR``,
+  default ``~/.cache/repro``; GC budgets via ``--max-bytes``/``--max-age``
+  or ``$REPRO_CACHE_MAX_BYTES``/``$REPRO_CACHE_MAX_AGE``);
+* ``cache serve`` — run the shared remote cache tier: an HTTP store
+  server other daemons layer over via ``--cache-remote`` /
+  ``$REPRO_CACHE_REMOTE`` or a ``tiered:<local>|<remote>`` cache spec;
 * ``serve`` — run the long-lived compile server (unix socket and/or TCP)
   that keeps caches warm and deduplicates identical in-flight requests;
 * ``client compile|tune|stats|health|shutdown`` — talk to a running
@@ -241,10 +246,36 @@ def cmd_tune(args) -> int:
     return 0
 
 
-def cmd_cache(args) -> int:
-    from .service import default_cache
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
 
-    cache = default_cache()
+
+def _parse_size(text):
+    """``"500M"`` → bytes; bare numbers are bytes already."""
+    if text is None:
+        return None
+    text = text.strip().lower().rstrip("b").rstrip("i")
+    if text and text[-1] in _SIZE_SUFFIXES:
+        return int(float(text[:-1]) * _SIZE_SUFFIXES[text[-1]])
+    return int(float(text))
+
+
+def _parse_age(text):
+    """``"7d"`` → seconds; bare numbers are seconds already."""
+    if text is None:
+        return None
+    text = text.strip().lower()
+    if text and text[-1] in _AGE_SUFFIXES:
+        return float(text[:-1]) * _AGE_SUFFIXES[text[-1]]
+    return float(text)
+
+
+def cmd_cache(args) -> int:
+    from .service import resolve_cache
+
+    if args.action == "serve":
+        return _cmd_cache_serve(args)
+    cache = resolve_cache(args.cache)
     if args.action == "clear":
         what = args.what
         removed = cache.clear(
@@ -253,6 +284,23 @@ def cmd_cache(args) -> int:
         )
         kind = "" if what == "all" else f"{what} "
         print(f"removed {removed} {kind}entries from {cache.cache_dir}")
+        return 0
+    if args.action == "gc":
+        report = cache.gc(
+            max_bytes=_parse_size(args.max_bytes),
+            max_age=_parse_age(args.max_age),
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if report.dry_run else "removed"
+        print(f"scanned {report.scanned} entries "
+              f"({report.scanned_bytes / 1024:.1f} KiB) in {cache.cache_dir}")
+        print(f"{verb} {report.removed} entries "
+              f"({report.removed_bytes / 1024:.1f} KiB): "
+              f"{report.expired} expired, {report.evicted} size-evicted")
+        print(f"remaining: {report.remaining_entries} entries "
+              f"({report.remaining_bytes / 1024:.1f} KiB)")
+        if report.errors:
+            print(f"errors: {report.errors}")
         return 0
     info = cache.info()
     print(f"cache dir:      {info['cache_dir']}")
@@ -263,12 +311,42 @@ def cmd_cache(args) -> int:
           f"({info['memo_bytes'] / 1024:.1f} KiB)")
     print(f"memory entries: {info['memory_entries']} "
           f"({info['memory_bytes'] / 1024:.1f} KiB)")
+    if info.get("gc_max_bytes") is not None or info.get("gc_max_age") is not None:
+        print(f"gc budget:      max_bytes={info['gc_max_bytes']} "
+              f"max_age={info['gc_max_age']}")
+    remote = info.get("remote")
+    if remote:
+        state = "up" if remote.get("alive") else "down"
+        print(f"remote tier:    {remote.get('spec')} ({state})")
     stats = info["stats"]
     print(f"session stats:  {stats['memory_hits']} memory hits, "
           f"{stats['disk_hits']} disk hits, {stats['misses']} misses, "
-          f"{stats['stores']} stores")
+          f"{stats['stores']} stores ({stats['skipped_stores']} skipped)")
     print(f"memo stats:     {stats['memo_hits']} snapshot hits, "
           f"{stats['memo_misses']} misses, {stats['memo_stores']} stores")
+    for tier, tstats in info.get("tiers", {}).items():
+        print(f"tier {tier:<9}  {tstats.get('hits', 0)} hits, "
+              f"{tstats.get('misses', 0)} misses, "
+              f"{tstats.get('puts', 0)} puts "
+              f"({tstats.get('put_skips', 0)} skipped), "
+              f"get {tstats.get('get_ms_mean', 0.0):.2f}ms avg, "
+              f"put {tstats.get('put_ms_mean', 0.0):.2f}ms avg")
+    return 0
+
+
+def _cmd_cache_serve(args) -> int:
+    """Run the shared remote tier: an HTTP store server over a directory."""
+    from .service.cache import default_cache_dir
+    from .service.stores import StoreServer
+
+    directory = args.dir or default_cache_dir()
+    server = StoreServer(directory, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro-store serving {directory} on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        return 130
     return 0
 
 
@@ -278,6 +356,9 @@ def cmd_serve(args) -> int:
 
     from .serve.server import CompileServer, ServeConfig
 
+    cache_spec = None if args.no_cache else args.cache
+    if cache_spec is not None and args.cache_remote:
+        cache_spec = {"local": cache_spec, "remote": args.cache_remote}
     config = ServeConfig(
         socket_path=args.socket,
         host=args.host,
@@ -286,7 +367,7 @@ def cmd_serve(args) -> int:
         client_limit=args.client_limit,
         request_timeout=args.timeout,
         drain_timeout=args.drain_timeout,
-        cache=None if args.no_cache else args.cache,
+        cache=cache_spec,
     )
     server = CompileServer(config)
 
@@ -422,8 +503,10 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list workloads").set_defaults(fn=cmd_list)
 
-    cache_p = sub.add_parser("cache", help="inspect or clear the compile cache")
-    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p = sub.add_parser(
+        "cache", help="inspect, clear, garbage-collect or serve the compile cache"
+    )
+    cache_p.add_argument("action", choices=["info", "clear", "gc", "serve"])
     cache_p.add_argument(
         "--what",
         choices=["all", "results", "memos"],
@@ -431,6 +514,32 @@ def main(argv=None) -> int:
         help="which store `clear` empties: compile results, spilled memo "
         "snapshots, or both (default)",
     )
+    cache_p.add_argument(
+        "--cache", default="default",
+        help="cache to operate on: 'default', a named cache, a directory, "
+        "or a tiered:<local>|<remote> fabric spec",
+    )
+    cache_p.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="`gc` byte budget, e.g. 500M or 2G (mtime-LRU eviction; "
+        "default $REPRO_CACHE_MAX_BYTES)",
+    )
+    cache_p.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="`gc` TTL, e.g. 7d or 3600 (seconds; "
+        "default $REPRO_CACHE_MAX_AGE)",
+    )
+    cache_p.add_argument("--dry-run", action="store_true",
+                         help="`gc`: report what would be removed, remove nothing")
+    cache_p.add_argument(
+        "--dir", default=None,
+        help="`serve`: directory to serve as the shared remote tier "
+        "(default: the default cache dir)",
+    )
+    cache_p.add_argument("--host", default="127.0.0.1",
+                         help="`serve`: bind address")
+    cache_p.add_argument("--port", type=int, default=0,
+                         help="`serve`: TCP port (0 picks a free one)")
     cache_p.set_defaults(fn=cmd_cache)
 
     stats_p = sub.add_parser(
@@ -474,7 +583,13 @@ def main(argv=None) -> int:
                          help="seconds to wait for in-flight work at shutdown")
     serve_p.add_argument(
         "--cache", default="default",
-        help="compile cache: 'default', a named cache, or a directory",
+        help="compile cache: 'default', a named cache, a directory, or a "
+        "tiered:<local>|<remote> fabric spec",
+    )
+    serve_p.add_argument(
+        "--cache-remote", default=None, metavar="URL",
+        help="shared remote cache tier (an http://host:port store server "
+        "or a shared directory) layered over --cache",
     )
     serve_p.add_argument("--no-cache", action="store_true",
                          help="serve without a result cache")

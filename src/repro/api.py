@@ -15,6 +15,7 @@ from .core import OptimizeResult, optimize
 from .ir import Program, ProgramBuilder, Tensor
 from .options import CompileOptions
 from .scheduler.autotune import TuneResult, autotune_tile_sizes
+from .service.cache import CompileCache, default_cache, resolve_cache
 from .service.driver import (
     CompileOutcome,
     CompileRequest,
@@ -23,6 +24,7 @@ from .service.driver import (
 )
 
 __all__ = [
+    "CompileCache",
     "CompileOptions",
     "CompileOutcome",
     "CompileRequest",
@@ -34,5 +36,7 @@ __all__ = [
     "autotune_tile_sizes",
     "cached_optimize",
     "compile_batch",
+    "default_cache",
     "optimize",
+    "resolve_cache",
 ]

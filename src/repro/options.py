@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -30,9 +30,11 @@ class CompileOptions:
     fusion heuristic.  ``mode``/``jobs``/``cache`` configure the batch
     driver: dispatch strategy, worker count and an optional
     :class:`~repro.service.CompileCache`.  ``cache`` also accepts a
-    string or :class:`os.PathLike`: ``"default"`` for the process-wide
-    cache, a bare name for a named cache under the default cache
-    directory, or a directory path (resolved via
+    string, :class:`os.PathLike` or mapping: ``"default"`` for the
+    process-wide cache, a bare name for a named cache under the default
+    cache directory, a directory path, a ``tiered:<local>|<remote>`` /
+    ``http://host:port`` fabric spec, or a ``{"local": ..., "remote":
+    ...}`` mapping (all resolved via
     :func:`~repro.service.cache.resolve_cache`).
     """
 
@@ -84,7 +86,7 @@ class CompileOptions:
                 raise ValueError(f"jobs must be >= 1, got {self.jobs!r}")
             object.__setattr__(self, "jobs", jobs)
 
-        if isinstance(self.cache, (str, os.PathLike)):
+        if isinstance(self.cache, (str, os.PathLike, Mapping)):
             from .service.cache import resolve_cache
 
             object.__setattr__(self, "cache", resolve_cache(self.cache))

@@ -231,6 +231,12 @@ class CompileServer:
                 t.cancel()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.cache is not None:
+            # Drain the write-behind queue so results compiled here are
+            # published to the shared remote tier before we disappear.
+            await asyncio.get_running_loop().run_in_executor(
+                None, lambda: self.cache.flush(self.config.drain_timeout)
+            )
         if self.config.socket_path:
             try:
                 os.unlink(self.config.socket_path)
@@ -472,6 +478,17 @@ class CompileServer:
         if self.cache is not None:
             for name, value in self.cache.stats.as_dict().items():
                 self.registry.set_gauge(f"serve.cache.{name}", value)
+            # Per-tier fabric metrics: counters and gauges become
+            # ``serve.cache.tier.<tier>.<name>`` gauges, latency
+            # histograms land in the registry under the same prefix.
+            for tier, tstats in self.cache.tier_metrics():
+                prefix = f"serve.cache.tier.{tier}"
+                for name, value in tstats.counters().items():
+                    self.registry.set_gauge(f"{prefix}.{name}", value)
+                for name, value in tstats.gauges().items():
+                    self.registry.set_gauge(f"{prefix}.{name}", value)
+                for name, hist in tstats.histograms().items():
+                    self.registry.histograms[f"{prefix}.{name}"] = hist
         return self.registry.snapshot()
 
     def _shutdown(self) -> dict:

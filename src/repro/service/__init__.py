@@ -3,7 +3,9 @@
 Turns the one-shot ``repro.core.optimize`` pass into a reusable service:
 
 * :mod:`fingerprint` — content-addressed SHA-256 keys for compile requests;
-* :mod:`cache` — a two-tier (LRU memory + on-disk) result cache;
+* :mod:`cache` — the tiered result cache (LRU memory over a store fabric);
+* :mod:`stores` — pluggable persistent tiers: local directory, shared
+  HTTP remote, layered local+remote with write-behind;
 * :mod:`driver` — deduplicating, parallel batch-compile driver;
 * :mod:`instrument` — pass-level spans/counters and per-compile reports.
 
@@ -18,9 +20,14 @@ from . import instrument
 
 __all__ = [
     "CacheStats",
+    "CacheStore",
     "CompileCache",
     "CompileOutcome",
     "CompileRequest",
+    "HTTPStore",
+    "LayeredStore",
+    "LocalStore",
+    "StoreServer",
     "cached_optimize",
     "compile_batch",
     "default_cache",
@@ -31,6 +38,8 @@ __all__ = [
     "load_program_memos",
     "memo_spill_enabled",
     "reset_default_cache",
+    "resolve_cache",
+    "resolve_store",
     "spill_program_memos",
 ]
 
@@ -40,6 +49,13 @@ _LAZY = {
     "default_cache": ("cache", "default_cache"),
     "default_cache_dir": ("cache", "default_cache_dir"),
     "reset_default_cache": ("cache", "reset_default_cache"),
+    "resolve_cache": ("cache", "resolve_cache"),
+    "CacheStore": ("stores", "CacheStore"),
+    "HTTPStore": ("stores", "HTTPStore"),
+    "LayeredStore": ("stores", "LayeredStore"),
+    "LocalStore": ("stores", "LocalStore"),
+    "StoreServer": ("stores", "StoreServer"),
+    "resolve_store": ("stores", "resolve_store"),
     "CompileOutcome": ("driver", "CompileOutcome"),
     "CompileRequest": ("driver", "CompileRequest"),
     "cached_optimize": ("driver", "cached_optimize"),

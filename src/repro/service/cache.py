@@ -1,46 +1,66 @@
-"""Two-tier compile-result cache: in-process LRU over an on-disk store.
+"""Tiered compile-result cache: in-process LRU over pluggable stores.
 
 Keys are the content-addressed fingerprints of
 :mod:`repro.service.fingerprint`; values are pickled
 :class:`~repro.core.pipeline.OptimizeResult` objects.  The memory tier
 holds pickled bytes (bounded by entry count and total size) so cached
 results are never shared mutably between callers — every hit unpickles a
-fresh copy.  The disk tier lives under ``$REPRO_CACHE_DIR`` (default
-``~/.cache/repro``) and survives processes; entries are written
-atomically and carry a schema version, so a corrupted or stale file is
-silently evicted on load instead of crashing the compile.
+fresh copy.
+
+Below the memory tier, :class:`CompileCache` is a *policy* over one
+:class:`~repro.service.stores.CacheStore` — the cache fabric:
+
+* the default store is a :class:`~repro.service.stores.LocalStore`, the
+  sharded on-disk layout under ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro``) that survives processes; entries are written
+  atomically and carry a schema version, so a corrupted or stale file is
+  silently evicted on load instead of crashing the compile;
+* with a ``remote`` spec (``$REPRO_CACHE_REMOTE``, a ``--cache-remote``
+  flag, or a ``tiered:<local>|<remote>`` cache spelling) the store
+  becomes a :class:`~repro.service.stores.LayeredStore`: local-first
+  reads, remote read-through with local backfill, and write-behind
+  publication to the shared tier — many compile servers sharing one warm
+  state, sccache-style;
+* stores garbage-collect by TTL and size budget (``repro cache gc``,
+  ``$REPRO_CACHE_MAX_BYTES`` / ``$REPRO_CACHE_MAX_AGE``, opportunistic
+  sweeps on put) with mtime-LRU eviction.
 
 Next to the result store the cache keeps a ``memos`` store: spilled
 presburger memo-table snapshots (:func:`repro.presburger.memo.snapshot`)
 keyed by *program* fingerprint, so a fresh process compiling the same
-program — a different tile-size candidate, a re-run after the result
-store was cleared, a batch worker — starts with the hot ``apply_range``
-/``tile_footprint``/``write_footprint`` entries already resident.  Memo
-snapshots are an optimisation only and are loaded with the same
-corruption-tolerant path as results.
+program starts with the hot ``apply_range``/``tile_footprint``/
+``write_footprint`` entries already resident.  ``get_memos_many``
+fetches a whole batch's snapshots in one remote round trip.
 
 A single :class:`CompileCache` instance is safe to share across threads:
-the compile server's worker pool hammers one shared cache, so the memory
-tier (the LRU ``OrderedDict`` and its byte accounting) and the stats
-counters are guarded by an internal lock.  Disk I/O and (un)pickling
-happen outside the lock — concurrent disk stores are already safe via
-atomic ``os.replace``.
+the memory tier (the LRU ``OrderedDict`` and its byte accounting) and
+the stats counters are guarded by an internal lock; stores are
+thread-safe themselves.  Disk/network I/O and (un)pickling happen
+outside the lock.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from .fingerprint import SCHEMA_VERSION
+from .stores import (
+    TIERED_PREFIX,
+    CacheStore,
+    LayeredStore,
+    OpLog,
+    default_gc_budget,
+    resolve_store,
+)
+from .stores.base import GCReport, TierStats
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
-_MAGIC = "repro-cache"
+ENV_CACHE_REMOTE = "REPRO_CACHE_REMOTE"
 
 
 def default_cache_dir() -> str:
@@ -50,14 +70,27 @@ def default_cache_dir() -> str:
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
 
 
+def default_remote_spec() -> Optional[str]:
+    """The fleet-wide shared tier, when ``$REPRO_CACHE_REMOTE`` is set."""
+    return os.environ.get(ENV_CACHE_REMOTE) or None
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one :class:`CompileCache`."""
+    """Hit/miss/eviction counters for one :class:`CompileCache`.
+
+    This is the legacy policy-level ledger (``optimize --stats``, the
+    serve daemon's ``serve.cache.*`` gauges); per-tier counters and
+    latency histograms live on each store's
+    :class:`~repro.service.stores.TierStats` (``tier_metrics()``).
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
     misses: int = 0
     stores: int = 0
+    skipped_stores: int = 0
     memory_evictions: int = 0
     disk_evictions: int = 0
     errors: int = 0
@@ -73,8 +106,10 @@ class CacheStats:
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "remote_hits": self.remote_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "skipped_stores": self.skipped_stores,
             "memory_evictions": self.memory_evictions,
             "disk_evictions": self.disk_evictions,
             "errors": self.errors,
@@ -86,31 +121,79 @@ class CacheStats:
 
 @dataclass
 class CompileCache:
-    """Content-addressed result cache with an LRU memory tier."""
+    """Content-addressed result cache: LRU memory tier over one store.
+
+    ``cache_dir`` names the local tier's directory; ``remote`` is an
+    optional remote-tier spec (an ``http://host:port`` store server or a
+    shared directory) that upgrades the store to a layered local+remote
+    fabric.  Pass ``store`` to supply a ready-made
+    :class:`~repro.service.stores.CacheStore` instead (tests, exotic
+    tierings); ``persistent=False`` keeps everything in memory.
+    """
 
     cache_dir: Optional[str] = None
     max_entries: int = 128
     max_bytes: int = 256 * 1024 * 1024
     persistent: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
+    remote: Optional[str] = None
+    gc_max_bytes: Optional[int] = None
+    gc_max_age: Optional[float] = None
+    store: Optional[CacheStore] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
-        if self.cache_dir is None:
+        if self.store is None and self.cache_dir is None:
             self.cache_dir = default_cache_dir()
+        if self.cache_dir is not None:
+            self.cache_dir = os.fspath(self.cache_dir)
+        if self.gc_max_bytes is None and self.gc_max_age is None:
+            self.gc_max_bytes, self.gc_max_age = default_gc_budget()
+        if not self.persistent:
+            self.store = None
+        elif self.store is None:
+            self.store = self._build_store()
         self._mem: "OrderedDict[str, bytes]" = OrderedDict()
         self._mem_bytes = 0
         self._lock = threading.RLock()
 
+    def _build_store(self) -> CacheStore:
+        spec = self.cache_dir
+        if self.remote:
+            spec = f"{TIERED_PREFIX}{self.cache_dir}|{self.remote}"
+        return resolve_store(
+            spec, gc_max_bytes=self.gc_max_bytes, gc_max_age=self.gc_max_age
+        )
+
     def __getstate__(self):
         state = self.__dict__.copy()
         del state["_lock"]
+        # Stores hold locks, sockets and flush threads; rebuild from the
+        # spec fields on the other side.
+        state["store"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        if self.persistent and self.store is None:
+            self.store = self._build_store()
         self._lock = threading.RLock()
 
+    @property
+    def spec(self) -> Optional[str]:
+        """A flat string :func:`resolve_cache` turns back into an
+        equivalent cache in another process, or ``None`` when the store
+        is memory-only or not spec-addressable."""
+        if self.store is None:
+            return None
+        return self.store.spec
+
     # -- lookup ------------------------------------------------------------
+
+    def _ledger(self, log: OpLog) -> None:
+        if log.errors or log.evictions:
+            with self._lock:
+                self.stats.errors += log.errors
+                self.stats.disk_evictions += log.evictions
 
     def get(self, key: str):
         """Return a fresh copy of the cached value, or ``None`` on miss."""
@@ -129,18 +212,23 @@ class CompileCache:
                 with self._lock:
                     self.stats.memory_hits += 1
                 return value
-        if self.persistent:
-            blob = self._load_disk(key)
+        if self.store is not None:
+            log = OpLog()
+            blob = self.store.get("results", key, log)
+            self._ledger(log)
             if blob is not None:
                 try:
                     value = pickle.loads(blob)
                 except Exception:
-                    self._evict_disk(key)
+                    self.store.delete("results", key)
                     with self._lock:
                         self.stats.errors += 1
+                        self.stats.disk_evictions += 1
                 else:
                     with self._lock:
                         self.stats.disk_hits += 1
+                        if log.tier == "remote":
+                            self.stats.remote_hits += 1
                         self._insert_memory(key, blob)
                     return value
         with self._lock:
@@ -157,14 +245,19 @@ class CompileCache:
         with self._lock:
             self.stats.stores += 1
             self._insert_memory(key, blob)
-        if self.persistent:
-            self._store_disk(key, blob)
+        if self.store is not None:
+            log = OpLog()
+            self.store.put("results", key, blob, log)
+            self._ledger(log)
+            if log.skipped:
+                with self._lock:
+                    self.stats.skipped_stores += 1
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
             if key in self._mem:
                 return True
-        return self.persistent and os.path.exists(self._path(key))
+        return self.store is not None and self.store.contains("results", key)
 
     # -- memory tier -------------------------------------------------------
 
@@ -193,18 +286,21 @@ class CompileCache:
 
     def get_memos(self, key: str):
         """The spilled memo snapshot for ``key`` (a program fingerprint),
-        or ``None``.  Disk-only: memo entries live in the process-wide memo
-        tables once loaded, so there is nothing to tier in memory."""
-        if not self.persistent:
+        or ``None``.  Store-only: memo entries live in the process-wide
+        memo tables once loaded, so there is nothing to tier in memory."""
+        if self.store is None:
             return None
-        blob = self._load_disk(key, kind="memos")
+        log = OpLog()
+        blob = self.store.get("memos", key, log)
+        self._ledger(log)
         if blob is not None:
             try:
                 value = pickle.loads(blob)
             except Exception:
-                self._evict_disk(key, kind="memos")
+                self.store.delete("memos", key)
                 with self._lock:
                     self.stats.errors += 1
+                    self.stats.disk_evictions += 1
             else:
                 with self._lock:
                     self.stats.memo_hits += 1
@@ -213,10 +309,37 @@ class CompileCache:
             self.stats.memo_misses += 1
         return None
 
+    def get_memos_many(self, keys: Iterable[str]) -> Dict[str, object]:
+        """Batched :meth:`get_memos`: every snapshot the store has for
+        ``keys``, fetched from the remote tier in one round trip.  Used
+        by ``compile_batch`` and the serve daemon to warm a whole batch's
+        programs at once."""
+        keys = list(dict.fromkeys(keys))
+        if self.store is None or not keys:
+            with self._lock:
+                self.stats.memo_misses += len(keys)
+            return {}
+        log = OpLog()
+        blobs = self.store.get_many("memos", keys, log)
+        self._ledger(log)
+        out: Dict[str, object] = {}
+        for key, blob in blobs.items():
+            try:
+                out[key] = pickle.loads(blob)
+            except Exception:
+                self.store.delete("memos", key)
+                with self._lock:
+                    self.stats.errors += 1
+                    self.stats.disk_evictions += 1
+        with self._lock:
+            self.stats.memo_hits += len(out)
+            self.stats.memo_misses += len(keys) - len(out)
+        return out
+
     def put_memos(self, key: str, snapshot) -> None:
         """Persist a memo snapshot under ``key``; empty snapshots are
         skipped (nothing to warm-start from)."""
-        if not self.persistent or not snapshot:
+        if self.store is None or not snapshot:
             return
         try:
             blob = pickle.dumps(snapshot)
@@ -226,142 +349,113 @@ class CompileCache:
             return
         with self._lock:
             self.stats.memo_stores += 1
-        self._store_disk(key, blob, kind="memos")
+        log = OpLog()
+        self.store.put("memos", key, blob, log)
+        self._ledger(log)
+        if log.skipped:
+            with self._lock:
+                self.stats.skipped_stores += 1
 
-    # -- disk tier ---------------------------------------------------------
+    # -- compat shims -------------------------------------------------------
+
+    def _local_store(self):
+        """The local tier (tests poke at on-disk paths directly)."""
+        store = self.store
+        return getattr(store, "local", store)
 
     def _path(self, key: str, kind: str = "results") -> str:
-        base = self.cache_dir if kind == "results" else os.path.join(
-            self.cache_dir, kind
-        )
-        return os.path.join(base, key[:2], f"{key}.pkl")
-
-    def _load_disk(self, key: str, kind: str = "results") -> Optional[bytes]:
-        path = self._path(key, kind)
-        try:
-            with open(path, "rb") as f:
-                entry = pickle.load(f)
-            magic, schema, stored_key, blob = entry
-            if magic != _MAGIC or schema != SCHEMA_VERSION or stored_key != key:
-                raise ValueError("stale or foreign cache entry")
-            if not isinstance(blob, bytes):
-                raise ValueError("malformed cache payload")
-            return blob
-        except FileNotFoundError:
-            return None
-        except Exception:
-            # Corrupted, truncated or stale entry: evict, never crash.
-            with self._lock:
-                self.stats.errors += 1
-            self._evict_disk(key, kind)
-            return None
-
-    def _store_disk(self, key: str, blob: bytes, kind: str = "results") -> None:
-        path = self._path(key, kind)
-        try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as f:
-                    pickle.dump((_MAGIC, SCHEMA_VERSION, key, blob), f)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except Exception:
-            # A read-only or full cache dir degrades to memory-only.
-            with self._lock:
-                self.stats.errors += 1
-
-    def _evict_disk(self, key: str, kind: str = "results") -> None:
-        try:
-            os.unlink(self._path(key, kind))
-        except OSError:
-            return
-        with self._lock:
-            self.stats.disk_evictions += 1
+        return self._local_store().path(kind, key)
 
     # -- maintenance -------------------------------------------------------
 
-    def clear(self, results: bool = True, memos: bool = True) -> int:
+    def clear(self, results: bool = True, memos: bool = True, remote: bool = False) -> int:
         """Drop the selected stores (and the memory tier when ``results``);
-        returns the number of disk entries removed."""
+        returns the number of local entries removed.  The remote tier is
+        only touched when ``remote=True`` — it is shared state."""
         removed = 0
         if results:
             with self._lock:
                 self._mem.clear()
                 self._mem_bytes = 0
-            removed += self._clear_kind("results")
-        if memos:
-            removed += self._clear_kind("memos")
+        if self.store is None:
+            return 0
+        kinds = [k for k, on in (("results", results), ("memos", memos)) if on]
+        for kind in kinds:
+            if isinstance(self.store, LayeredStore):
+                removed += self.store.clear(kind, remote=remote)
+            else:
+                removed += self.store.clear(kind)
         return removed
 
-    def _clear_kind(self, kind: str) -> int:
-        removed = 0
-        for path, _ in self._disk_entries(kind):
-            try:
-                os.unlink(path)
-                removed += 1
-            except OSError:
-                pass
-        return removed
-
-    def _disk_entries(self, kind: str = "results"):
-        base = self.cache_dir if kind == "results" else os.path.join(
-            self.cache_dir, kind
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> GCReport:
+        """Garbage-collect the local tier: TTL expiry plus mtime-LRU
+        eviction down to the byte budget.  Defaults to the configured
+        budgets (``$REPRO_CACHE_MAX_BYTES`` / ``$REPRO_CACHE_MAX_AGE``)."""
+        if self.store is None:
+            return GCReport(dry_run=dry_run)
+        return self.store.gc(
+            max_bytes=max_bytes if max_bytes is not None else self.gc_max_bytes,
+            max_age=max_age if max_age is not None else self.gc_max_age,
+            dry_run=dry_run,
         )
-        if not self.persistent or not os.path.isdir(base):
-            return
-        for sub in sorted(os.listdir(base)):
-            subdir = os.path.join(base, sub)
-            # The memos store nests under the results tree; don't count its
-            # entries as results.
-            if not os.path.isdir(subdir) or (kind == "results" and sub == "memos"):
-                continue
-            for name in sorted(os.listdir(subdir)):
-                if not name.endswith(".pkl"):
-                    continue
-                path = os.path.join(subdir, name)
-                try:
-                    size = os.path.getsize(path)
-                except OSError:
-                    continue
-                yield path, size
+
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        """Drain any write-behind publication to the remote tier."""
+        return True if self.store is None else self.store.flush(timeout)
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+
+    def tier_metrics(self) -> List[Tuple[str, TierStats]]:
+        """Every (tier name, stats) pair of the underlying store fabric."""
+        return [] if self.store is None else self.store.tiers()
 
     def info(self) -> Dict[str, object]:
-        entries = list(self._disk_entries())
-        memo_entries = list(self._disk_entries("memos"))
+        if self.store is not None:
+            sinfo = self.store.info()
+        else:
+            sinfo = {"entries": 0, "bytes": 0, "memo_entries": 0, "memo_bytes": 0}
         with self._lock:
             memory_entries = len(self._mem)
             memory_bytes = self._mem_bytes
             stats = self.stats.as_dict()
-        return {
+        info: Dict[str, object] = {
             "cache_dir": self.cache_dir,
             "schema_version": SCHEMA_VERSION,
-            "disk_entries": len(entries),
-            "disk_bytes": sum(size for _, size in entries),
-            "memo_entries": len(memo_entries),
-            "memo_bytes": sum(size for _, size in memo_entries),
+            "disk_entries": sinfo.get("entries", 0),
+            "disk_bytes": sinfo.get("bytes", 0),
+            "memo_entries": sinfo.get("memo_entries", 0),
+            "memo_bytes": sinfo.get("memo_bytes", 0),
             "memory_entries": memory_entries,
             "memory_bytes": memory_bytes,
+            "gc_max_bytes": self.gc_max_bytes,
+            "gc_max_age": self.gc_max_age,
             "stats": stats,
+            "tiers": {
+                tier: tstats.as_dict() for tier, tstats in self.tier_metrics()
+            },
         }
+        if "remote" in sinfo:
+            info["remote"] = sinfo["remote"]
+        return info
 
 
-_default: Optional[Tuple[str, CompileCache]] = None
+_default: Optional[Tuple[Tuple[str, Optional[str]], CompileCache]] = None
 
 
 def default_cache() -> CompileCache:
-    """The process-wide cache, rebuilt if ``$REPRO_CACHE_DIR`` changes."""
+    """The process-wide cache, rebuilt if ``$REPRO_CACHE_DIR`` or
+    ``$REPRO_CACHE_REMOTE`` changes."""
     global _default
-    cache_dir = default_cache_dir()
-    if _default is None or _default[0] != cache_dir:
-        _default = (cache_dir, CompileCache(cache_dir=cache_dir))
+    key = (default_cache_dir(), default_remote_spec())
+    if _default is None or _default[0] != key:
+        _default = (key, CompileCache(cache_dir=key[0], remote=key[1]))
     return _default[1]
 
 
@@ -371,24 +465,58 @@ def reset_default_cache() -> None:
     _default = None
 
 
+def _named_dir(name: str) -> str:
+    return os.path.join(default_cache_dir(), "named", name)
+
+
+def _spec_dir(path: str) -> str:
+    """A directory from a local-tier spelling: bare names are namespaced
+    under ``<default_cache_dir()>/named/``, paths pass through."""
+    if path == "default":
+        return default_cache_dir()
+    if os.sep not in path and "/" not in path and not path.startswith("~"):
+        return _named_dir(path)
+    return os.path.expanduser(path)
+
+
 def resolve_cache(spec) -> CompileCache:
-    """A :class:`CompileCache` from a string/path spelling.
+    """A :class:`CompileCache` from a string/path/mapping spelling.
 
     * ``"default"`` — the process-wide :func:`default_cache`;
     * a bare name (no path separator, no ``~``) — a named cache under
       ``<default_cache_dir()>/named/<name>`` so ad-hoc caches never
       collide with the default cache's own stores;
+    * ``"tiered:<local>|<remote>"`` — a layered fabric: ``<local>`` is
+      any of the spellings above, ``<remote>`` an ``http://host:port``
+      store server or a shared directory;
+    * ``"http://host:port"`` — a remote-only cache (no local tier);
+    * a mapping — ``{"local": ..., "remote": ..., "gc_max_bytes": ...,
+      "gc_max_age": ..., "max_entries": ..., "max_bytes": ...}``;
     * anything else — an explicit directory path (``~`` expanded).
 
     :class:`CompileCache` instances pass through unchanged.
     """
     if isinstance(spec, CompileCache):
         return spec
+    if isinstance(spec, Mapping):
+        kwargs = dict(spec)
+        local = kwargs.pop("local", "default")
+        return CompileCache(cache_dir=_spec_dir(os.fspath(local)), **kwargs)
     path = os.fspath(spec)
     if path == "default":
         return default_cache()
-    if os.sep not in path and "/" not in path and not path.startswith("~"):
+    if path.startswith(TIERED_PREFIX):
+        body = path[len(TIERED_PREFIX):]
+        local, sep, remote = body.partition("|")
+        if not sep or not local or not remote:
+            raise ValueError(
+                f"tiered cache spec must be 'tiered:<local>|<remote>', got {path!r}"
+            )
+        return CompileCache(cache_dir=_spec_dir(local), remote=remote)
+    if path.startswith("http://"):
         return CompileCache(
-            cache_dir=os.path.join(default_cache_dir(), "named", path)
+            cache_dir=None,
+            persistent=True,
+            store=resolve_store(path, tier="remote"),
         )
-    return CompileCache(cache_dir=os.path.expanduser(path))
+    return CompileCache(cache_dir=_spec_dir(path))

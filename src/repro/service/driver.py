@@ -45,12 +45,20 @@ def memo_spill_enabled() -> bool:
     return os.environ.get(ENV_MEMO_SPILL, "1").lower() not in ("0", "false", "no")
 
 
-def _memo_dir(cache: Optional[CompileCache]) -> Optional[str]:
-    """The cache directory to spill memos through, or ``None`` when the
-    round-trip is off (no cache, memory-only cache, or env-disabled)."""
+def _memo_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
+    """The cache to spill memos through, or ``None`` when the round-trip
+    is off (no cache, memory-only cache, or env-disabled)."""
     if cache is None or not cache.persistent or not memo_spill_enabled():
         return None
-    return cache.cache_dir
+    return cache
+
+
+def _memo_spec(cache: Optional[CompileCache]) -> Optional[str]:
+    """A flat spec string a worker *process* rebuilds the memo cache
+    from (see :attr:`CompileCache.spec`); ``None`` disables the worker's
+    round-trip — also when the store has no cross-process spelling."""
+    memo_cache = _memo_cache(cache)
+    return None if memo_cache is None else memo_cache.spec
 
 
 def load_program_memos(cache: CompileCache, program_fp: str) -> int:
@@ -82,18 +90,25 @@ def _batch_program_fps(requests: Sequence["CompileRequest"]) -> List[str]:
     return list(dict.fromkeys(fingerprint_program(r.program) for r in requests))
 
 
-def _load_batch_memos(requests, memo_dir: Optional[str]) -> None:
-    if memo_dir is None or not requests:
+def _load_batch_memos(requests, cache: Optional[CompileCache]) -> None:
+    """Warm the process memo tables for every program in the batch with
+    one batched snapshot fetch (one remote round trip on a tiered
+    cache), instead of a ``get_memos`` each."""
+    if cache is None or not requests:
         return
-    cache = CompileCache(cache_dir=memo_dir)
-    for fp in _batch_program_fps(requests):
-        load_program_memos(cache, fp)
+    from ..presburger import memo
+
+    snaps = cache.get_memos_many(_batch_program_fps(requests))
+    for snap in snaps.values():
+        loaded = memo.load_snapshot(snap)
+        if loaded:
+            instrument.count("driver.memo_entries_loaded", loaded)
+            instrument.count("driver.memo_warm_starts")
 
 
-def _spill_batch_memos(requests, memo_dir: Optional[str]) -> None:
-    if memo_dir is None or not requests:
+def _spill_batch_memos(requests, cache: Optional[CompileCache]) -> None:
+    if cache is None or not requests:
         return
-    cache = CompileCache(cache_dir=memo_dir)
     for fp in _batch_program_fps(requests):
         spill_program_memos(cache, fp)
 
@@ -155,42 +170,60 @@ def _run_request(request: CompileRequest) -> Tuple[Optional[object], Optional[st
     return result, None
 
 
-def _worker_body(request: CompileRequest, memo_dir: Optional[str]):
+#: Per-worker-process memo cache, keyed by spec.  Pool workers handle
+#: many tasks; rebuilding a (possibly tiered, thread-owning) cache per
+#: task would leak flush threads and cold connections.
+_worker_memo_cache: Optional[Tuple[str, CompileCache]] = None
+
+
+def _worker_cache_for(memo_spec: str) -> CompileCache:
+    global _worker_memo_cache
+    if _worker_memo_cache is None or _worker_memo_cache[0] != memo_spec:
+        from .cache import resolve_cache
+
+        if _worker_memo_cache is not None:
+            _worker_memo_cache[1].close()
+        _worker_memo_cache = (memo_spec, resolve_cache(memo_spec))
+    return _worker_memo_cache[1]
+
+
+def _worker_body(request: CompileRequest, memo_spec: Optional[str]):
     """One worker's compile, including its memo warm-start round-trip."""
-    if memo_dir is not None:
-        cache = CompileCache(cache_dir=memo_dir)
+    if memo_spec is not None:
+        cache = _worker_cache_for(memo_spec)
         program_fp = fingerprint_program(request.program)
         load_program_memos(cache, program_fp)
         result, error = _run_request(request)
         if error is None:
             spill_program_memos(cache, program_fp)
+            cache.flush(timeout=2.0)
     else:
         result, error = _run_request(request)
     return result, error
 
 
 def _worker(payload: bytes) -> bytes:
-    """Process-pool entry point: pickled ``(request, memo_dir, observe,
+    """Process-pool entry point: pickled ``(request, memo_spec, observe,
     trace)`` in, pickled ``(result, error, report)`` out.  The worker is a
     fresh process with empty memo tables — exactly where the disk spill
-    pays off — so it loads its program's snapshot itself and spills the
-    result back.
+    pays off — so it rebuilds the memo cache from its spec, loads its
+    program's snapshot itself and spills the result back.
 
     Collector stacks are per-thread and per-process, so a worker's spans
     and counters would silently vanish; when the driver is being observed
     the worker collects its own :class:`~repro.obs.CompileReport` (with
     span events when the driver is tracing) and ships it back for merging.
     """
-    request, memo_dir, observe, trace = pickle.loads(payload)
+    request, memo_spec, observe, trace = pickle.loads(payload)
     if observe:
         with instrument.collect(trace=trace) as report:
             with instrument.span(
                 "compile_worker", fingerprint=request.fingerprint[:12]
             ):
-                result, error = _worker_body(request, memo_dir)
+                result, error = _worker_body(request, memo_spec)
     else:
         report = None
-        result, error = _worker_body(request, memo_dir)
+        result, error = _worker_body(request, memo_spec)
     return pickle.dumps((result, error, report))
 
 
@@ -228,7 +261,7 @@ def _dispatch(
     requests: List[CompileRequest],
     mode: str,
     max_workers: Optional[int],
-    memo_dir: Optional[str] = None,
+    cache: Optional[CompileCache] = None,
 ) -> List[Tuple[Optional[object], Optional[str]]]:
     """Compile ``requests`` (already deduplicated), preserving order.
 
@@ -239,20 +272,22 @@ def _dispatch(
     """
     if mode not in MODES:
         raise ValueError(f"unknown dispatch mode {mode!r}; expected one of {MODES}")
+    memo_cache = _memo_cache(cache)
     if mode == "serial" or len(requests) <= 1:
         # Serial runs on the driver thread where collectors already see
         # every span directly — no side report to merge.
-        _load_batch_memos(requests, memo_dir)
+        _load_batch_memos(requests, memo_cache)
         results = [_run_request(r) for r in requests]
-        _spill_batch_memos(requests, memo_dir)
+        _spill_batch_memos(requests, memo_cache)
         return results
 
     observe, trace = instrument.active(), instrument.tracing()
     workers = max_workers or _default_workers(len(requests))
     if mode in ("auto", "process"):
         try:
+            memo_spec = _memo_spec(cache)
             payloads = [
-                pickle.dumps((r, memo_dir, observe, trace)) for r in requests
+                pickle.dumps((r, memo_spec, observe, trace)) for r in requests
             ]
             t0 = time.perf_counter()
             pool = ProcessPoolExecutor(max_workers=workers)
@@ -286,7 +321,7 @@ def _dispatch(
                     results.append((result, error))
                 return results
     # Threads share the process-wide memo tables: load once, spill once.
-    _load_batch_memos(requests, memo_dir)
+    _load_batch_memos(requests, memo_cache)
 
     def _threaded(request: CompileRequest):
         if not observe:
@@ -312,7 +347,7 @@ def _dispatch(
             instrument.merge_report(report)
             instrument.count("driver.worker_reports_merged")
         results.append((result, error))
-    _spill_batch_memos(requests, memo_dir)
+    _spill_batch_memos(requests, memo_cache)
     return results
 
 
@@ -369,7 +404,7 @@ def compile_batch(
         compiled = dict(
             zip(
                 (r.fingerprint for r in to_compile),
-                _dispatch(to_compile, mode, max_workers, _memo_dir(cache)),
+                _dispatch(to_compile, mode, max_workers, cache),
             )
         )
         elapsed = time.perf_counter() - t0
@@ -421,12 +456,12 @@ def cached_optimize(
     key = fingerprint_request(program, opts.target, opts.tile_sizes, opts.startup)
     result = cache.get(key)
     if result is None:
-        spill = _memo_dir(cache) is not None
-        program_fp = fingerprint_program(program) if spill else None
-        if spill:
-            load_program_memos(cache, program_fp)
+        memo_cache = _memo_cache(cache)
+        program_fp = fingerprint_program(program) if memo_cache else None
+        if memo_cache is not None:
+            load_program_memos(memo_cache, program_fp)
         result = optimize(program, options=opts.replace(cache=None))
         cache.put(key, result)
-        if spill:
-            spill_program_memos(cache, program_fp)
+        if memo_cache is not None:
+            spill_program_memos(memo_cache, program_fp)
     return result

@@ -1,0 +1,91 @@
+"""``repro.service.stores`` — pluggable persistent cache tiers.
+
+:class:`~repro.service.cache.CompileCache` is a tiering policy (memory
+LRU + stat ledger) over one :class:`CacheStore`; this package holds the
+store implementations:
+
+* :class:`LocalStore` — sharded local directory (atomic writes, put
+  skip, running counters, TTL/size GC);
+* :class:`HTTPStore` / :class:`StoreServer` — the shared remote tier: a
+  tiny stdlib HTTP store server and its blocking client;
+* :class:`LayeredStore` — local-first reads with remote read-through +
+  backfill, and write-behind flushing off the compile hot path.
+
+``resolve_store`` turns a spec string back into a store — the same
+strings :attr:`CacheStore.spec` produces — so a tier configuration can
+travel to worker processes or the CLI as one flat string:
+
+* a directory path → :class:`LocalStore`;
+* ``http://host:port`` → :class:`HTTPStore`;
+* ``tiered:<local>|<remote>`` → :class:`LayeredStore` over the two.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .base import (
+    KINDS,
+    CacheStore,
+    EntryInfo,
+    GCReport,
+    OpLog,
+    StoreUnavailable,
+    TierStats,
+)
+from .layered import LayeredStore
+from .local import LocalStore, default_gc_budget
+from .remote import HTTPStore, StoreServer
+
+TIERED_PREFIX = "tiered:"
+
+
+def resolve_store(
+    spec: str,
+    tier: Optional[str] = None,
+    gc_max_bytes: Optional[int] = None,
+    gc_max_age: Optional[float] = None,
+) -> CacheStore:
+    """A :class:`CacheStore` from its spec string (see module docstring).
+
+    GC budgets apply to the local tier (layered: the local side only;
+    the remote store server owns its own budget).
+    """
+    spec = os.fspath(spec)
+    if spec.startswith(TIERED_PREFIX):
+        body = spec[len(TIERED_PREFIX):]
+        local_spec, sep, remote_spec = body.partition("|")
+        if not sep or not local_spec or not remote_spec:
+            raise ValueError(
+                f"tiered cache spec must be 'tiered:<local>|<remote>', got {spec!r}"
+            )
+        return LayeredStore(
+            resolve_store(
+                local_spec, gc_max_bytes=gc_max_bytes, gc_max_age=gc_max_age
+            ),
+            resolve_store(remote_spec, tier="remote"),
+        )
+    if spec.startswith("http://"):
+        return HTTPStore(spec, tier=tier)
+    return LocalStore(
+        spec, tier=tier, gc_max_bytes=gc_max_bytes, gc_max_age=gc_max_age
+    )
+
+
+__all__ = [
+    "KINDS",
+    "TIERED_PREFIX",
+    "CacheStore",
+    "EntryInfo",
+    "GCReport",
+    "HTTPStore",
+    "LayeredStore",
+    "LocalStore",
+    "OpLog",
+    "StoreServer",
+    "StoreUnavailable",
+    "TierStats",
+    "default_gc_budget",
+    "resolve_store",
+]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..ir import Program
+from ..options import _UNSET
 from ..schedule import DomainNode
 from ..scheduler import (
     SMARTFUSE,
@@ -67,9 +68,9 @@ class OptimizeResult:
 
 def optimize(
     program: Program,
-    target: "str | TargetSpec | CompileOptions" = "cpu",
-    tile_sizes: Optional[Sequence[int]] = None,
-    startup: str = SMARTFUSE,
+    target: "str | TargetSpec | CompileOptions" = _UNSET,
+    tile_sizes: Optional[Sequence[int]] = _UNSET,
+    startup: str = _UNSET,
     options: "Optional[CompileOptions]" = None,
 ) -> OptimizeResult:
     """Run the paper's pass on ``program``.
@@ -77,25 +78,24 @@ def optimize(
     Accepts a :class:`repro.CompileOptions` — either as ``options=`` or
     positionally in place of ``target`` — or the legacy ``target``/
     ``tile_sizes``/``startup`` keywords, which are normalized through the
-    same ``CompileOptions`` validation path.
+    same ``CompileOptions`` validation path.  Passing any legacy keyword
+    — even at its default value (``target="cpu"``, ``tile_sizes=None``,
+    ``startup="smartfuse"``) — together with options is rejected.
 
     ``tile_sizes`` applies to the live-out computation spaces only — the
     pass derives every other space's tile shape from the upwards-exposed
     data, which is the point of the paper.  ``target`` selects how much
     parallelism must be preserved ("cpu": 1 dim, "gpu": 2 dims, "npu").
     """
-    from ..options import CompileOptions, _UNSET, resolve_options
+    from ..options import CompileOptions, resolve_options
 
     if isinstance(target, CompileOptions):
         if options is not None:
             raise TypeError("options passed both positionally and by keyword")
         options = target
-        target = "cpu"
+        target = _UNSET
     opts = resolve_options(
-        options,
-        target=target if target != "cpu" else _UNSET,
-        tile_sizes=tile_sizes if tile_sizes is not None else _UNSET,
-        startup=startup if startup != SMARTFUSE else _UNSET,
+        options, target=target, tile_sizes=tile_sizes, startup=startup
     )
     spec = opts.target
     t0 = time.perf_counter()

@@ -1,0 +1,34 @@
+"""``repro.data`` — the autotune candidate dataset (LOOPerSet direction).
+
+Every autotune sweep (and, opted in, every batch compile) already computes
+the tuples a data-driven optimizer needs: program fingerprint, target,
+tile sizes, the cost model's footprint/traffic internals and the exact
+analytical cost.  This package persists them: one JSONL record per
+evaluated candidate, schema-validated like ``repro-metrics/1``, appended
+under the cache directory so every sweep grows the training set the
+:mod:`repro.learn` ranker fits on.
+"""
+
+from .dataset import (
+    DATASET_SCHEMA,
+    ENV_DATASET,
+    Dataset,
+    collection_enabled,
+    dataset_from_env,
+    default_dataset_path,
+    make_record,
+    resolve_dataset,
+    validate_record,
+)
+
+__all__ = [
+    "DATASET_SCHEMA",
+    "ENV_DATASET",
+    "Dataset",
+    "collection_enabled",
+    "dataset_from_env",
+    "default_dataset_path",
+    "make_record",
+    "resolve_dataset",
+    "validate_record",
+]

@@ -1,0 +1,45 @@
+"""``repro.learn`` — a learned cost-model ranker for the autotune grid.
+
+Fit offline on the :mod:`repro.data` candidate store (``repro learn
+fit``), the :class:`RankModel` predicts the analytical cost of a tile-size
+candidate from features that need *no compilation* — program structure
+plus tile geometry — so the autotuner's ``pruned`` search mode can rank
+the whole grid in microseconds and run exact specialization only on the
+top-k (:func:`repro.scheduler.autotune.autotune_tile_sizes`).
+"""
+
+from .features import (
+    FEATURE_NAMES,
+    MAX_DIMS,
+    candidate_features,
+    feature_vector,
+    program_features,
+    ranking_features,
+)
+from .model import (
+    MODEL_SCHEMA,
+    ModelSchemaError,
+    RankModel,
+    default_model_path,
+    fit_records,
+    head_key,
+    load_model,
+    save_model,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "MAX_DIMS",
+    "MODEL_SCHEMA",
+    "ModelSchemaError",
+    "RankModel",
+    "candidate_features",
+    "default_model_path",
+    "feature_vector",
+    "fit_records",
+    "head_key",
+    "load_model",
+    "program_features",
+    "ranking_features",
+    "save_model",
+]

@@ -1,0 +1,188 @@
+"""Featurization: program structure + tile geometry, no compilation.
+
+The ranker must score a candidate *before* exact specialization — that is
+the whole point of pruning — so every feature here is computable from the
+:class:`~repro.ir.Program` and the tile-size tuple alone: live-out
+extents, statement counts and per-instance op counts on the program side;
+tile volumes, tile counts, halo-proxy surface terms and aspect ratios on
+the candidate side.  The exact cost-model internals (footprints, traffic)
+are still *persisted* per record (the ``work`` section, from
+:func:`repro.machine.work_features`) for analysis, but the model never
+needs them at prediction time.
+
+Feature names are a fixed, ordered vocabulary (:data:`FEATURE_NAMES`)
+padded to :data:`MAX_DIMS` dimensions, so vectors from different programs
+and sweeps align and a pickled model keeps scoring new records.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir import Program
+
+#: Feature vectors are padded to this many tile dimensions.
+MAX_DIMS = 3
+
+
+def liveout_extent_bounds(program: Program, dims: int) -> List[int]:
+    """Per-dimension tile-size bounds from the live-out iteration extents.
+
+    For each tile dimension the bound is the *minimum* extent across all
+    live-out tensors (a tile must fit every live-out space it applies
+    to); a live-out of lower rank contributes its maximal extent, which
+    preserves the historical scalar derivation for 1-D outputs.
+    """
+    if not program.liveout:
+        raise ValueError(f"program {program.name!r} has no live-out tensors")
+    bounds: List[int] = []
+    shapes = [
+        program.tensors[name].concrete_shape(program.params)
+        for name in program.liveout
+    ]
+    for d in range(dims):
+        bounds.append(
+            min(shape[d] if d < len(shape) else max(shape) for shape in shapes)
+        )
+    return bounds
+
+
+def _log2(v: float) -> float:
+    return math.log2(v) if v > 0 else 0.0
+
+
+def program_features(program: Program, dims: int) -> Dict[str, float]:
+    """Structure-only features of one program (shared by its whole grid)."""
+    bounds = liveout_extent_bounds(program, dims)
+    feats: Dict[str, float] = {
+        "n_statements": float(len(program.statements)),
+        "n_tensors": float(len(program.tensors)),
+        "n_liveouts": float(len(program.liveout)),
+        "dims": float(dims),
+        "ops_per_instance": float(
+            sum(s.ops_per_instance() for s in program.statements)
+        ),
+        "liveout_elems": float(
+            sum(
+                program.tensors[name].size_elems(program.params)
+                for name in program.liveout
+            )
+        ),
+    }
+    for d in range(MAX_DIMS):
+        extent = bounds[d] if d < len(bounds) else 1
+        feats[f"extent_{d}"] = float(extent)
+        feats[f"log2_extent_{d}"] = _log2(extent)
+    return feats
+
+
+def candidate_features(
+    sizes: Sequence[int], bounds: Sequence[int]
+) -> Dict[str, float]:
+    """Tile-geometry features of one candidate against the extents."""
+    feats: Dict[str, float] = {}
+    tiles: List[int] = []
+    for d in range(MAX_DIMS):
+        size = sizes[d] if d < len(sizes) else 1
+        extent = bounds[d] if d < len(bounds) else 1
+        per_dim_tiles = max(1, -(-extent // size))
+        tiles.append(per_dim_tiles)
+        feats[f"size_{d}"] = float(size)
+        feats[f"log2_size_{d}"] = _log2(size)
+        feats[f"tiles_{d}"] = float(per_dim_tiles)
+        feats[f"fill_{d}"] = min(1.0, size / extent) if extent else 1.0
+    volume = 1
+    for s in sizes:
+        volume *= s
+    n_tiles = 1
+    for t in tiles:
+        n_tiles *= t
+    live = [s for s in sizes] or [1]
+    feats["volume"] = float(volume)
+    feats["log2_volume"] = _log2(volume)
+    feats["n_tiles"] = float(n_tiles)
+    feats["log2_n_tiles"] = _log2(n_tiles)
+    # Halo proxy: recomputation and per-tile footprint overheads scale
+    # with the tile's surface-to-volume ratio.
+    feats["surface"] = sum(1.0 / s for s in live)
+    feats["aspect"] = max(live) / min(live)
+    # Pairwise interactions: tiled footprints mix terms like s_a*K,
+    # s_a*s_b and max(s_a, s_b), which no axis-aligned split on a single
+    # size can express — depth-1 stumps need them spelled out.
+    ls = [feats[f"log2_size_{d}"] for d in range(MAX_DIMS)]
+    for a in range(MAX_DIMS):
+        for b in range(a + 1, MAX_DIMS):
+            feats[f"log2_size_prod_{a}{b}"] = ls[a] * ls[b]
+            feats[f"log2_size_diff_{a}{b}"] = ls[a] - ls[b]
+    feats["log2_size_min"] = min(ls)
+    feats["log2_size_max"] = max(ls)
+    return feats
+
+
+def ranking_features(
+    program: Program,
+    sizes: Sequence[int],
+    dims: Optional[int] = None,
+    threads: int = 32,
+    bounds: Optional[Sequence[int]] = None,
+) -> Dict[str, float]:
+    """The full cheap feature dict for one (program, candidate) pair."""
+    dims = dims if dims is not None else len(sizes)
+    if bounds is None:
+        bounds = liveout_extent_bounds(program, dims)
+    feats = program_features(program, dims)
+    feats.update(candidate_features(sizes, bounds))
+    feats["threads"] = float(threads)
+    return feats
+
+
+def _feature_names() -> Tuple[str, ...]:
+    """The fixed vocabulary, derived from a tiny synthetic program so it
+    can never drift from the extractors above."""
+    names = set(program_features(_PROBE, MAX_DIMS))
+    names |= set(candidate_features((1,) * MAX_DIMS, (1,) * MAX_DIMS))
+    names.add("threads")
+    return tuple(sorted(names))
+
+
+class _ProbeProgram:
+    """Shape-compatible stand-in so the vocabulary needs no real build."""
+
+    name = "probe"
+    params: Dict[str, int] = {}
+    liveout = ("t",)
+
+    class _Stmt:
+        @staticmethod
+        def ops_per_instance() -> int:
+            return 1
+
+    statements = (_Stmt(),)
+
+    class _Tensor:
+        @staticmethod
+        def concrete_shape(_params):
+            return (1, 1, 1)
+
+        @staticmethod
+        def size_elems(_params):
+            return 1
+
+    tensors = {"t": _Tensor()}
+
+
+_PROBE = _ProbeProgram()
+
+#: Every feature the extractors emit, in the canonical (sorted) order a
+#: model's weight vector follows.
+FEATURE_NAMES: Tuple[str, ...] = _feature_names()
+
+
+def feature_vector(
+    feats: Dict[str, float], names: Sequence[str] = FEATURE_NAMES
+) -> np.ndarray:
+    """A dense vector in canonical feature order (missing names -> 0)."""
+    return np.array([float(feats.get(n, 0.0)) for n in names], dtype=np.float64)

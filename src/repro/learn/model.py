@@ -1,0 +1,363 @@
+"""The ranking model: standardize -> ridge or gradient-boosted stumps.
+
+Pure python + numpy, deterministic, and serialized as a *plain dict* with
+a schema tag (:data:`MODEL_SCHEMA`) so a pickled model survives module
+refactors and a stale or foreign pickle is rejected loudly instead of
+mis-scoring candidates.
+
+Two heads are available per fit:
+
+* ``ridge`` — closed-form L2 linear regression on standardized features;
+  the robust cross-program generalizer.
+* ``stumps`` — gradient-boosted depth-1 regression trees; fits the
+  per-program cost landscape almost exactly, which is what makes the
+  pruned search's top-k cut safe on programs the dataset has seen.
+
+A fit always trains one *global* head over every record plus one
+*per-(program, target)* head for each group with enough rows
+(``min_program_rows``); prediction uses the specific head when the
+program is covered and the global head otherwise.  ``coverage()`` is the
+row count backing a head — the autotuner falls back to the exhaustive
+sweep when it is below the model's ``min_coverage``.
+
+Targets are ``log(cost)``: costs span orders of magnitude across
+programs, and ranking only needs the order, which the monotone transform
+preserves while keeping the global head's residuals comparable.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .features import FEATURE_NAMES, feature_vector
+
+#: Bump on any change to the serialized model layout.
+MODEL_SCHEMA = "repro-ranker/1"
+
+#: Ranking quantum in log-cost units: predicted scores within this are a
+#: tie.  Sits between the fitted heads' within-class noise (<= ~3e-4 log
+#: on the bench landscapes) and the gap separating distinct analytical
+#: cost classes (>= ~1.5e-3).  Ties break on the tile-size tuple, so each
+#: predicted-tie class ranks its canonical member first — the same
+#: representative the exhaustive sweep's tie-break chooses.
+SCORE_QUANTUM = 1e-3
+
+ENV_MODEL = "REPRO_AUTOTUNE_MODEL"
+
+
+class ModelSchemaError(ValueError):
+    """A pickled model file does not carry the expected schema tag."""
+
+
+def default_model_path() -> str:
+    env = os.environ.get(ENV_MODEL)
+    if env:
+        return env
+    from ..service.cache import default_cache_dir
+
+    return os.path.join(default_cache_dir(), "models", "autotune-ranker.pkl")
+
+
+def head_key(fingerprint: str, target: str) -> str:
+    """The per-program head index: one cost landscape per (program, target)."""
+    return f"{fingerprint}|{target}"
+
+
+# ---------------------------------------------------------------------------
+# heads
+
+
+def _fit_ridge(X: np.ndarray, y: np.ndarray, lam: float) -> Dict[str, object]:
+    n, p = X.shape
+    A = X.T @ X + lam * np.eye(p)
+    b = X.T @ (y - y.mean())
+    coef = np.linalg.solve(A, b)
+    return {"kind": "ridge", "coef": coef.tolist(), "intercept": float(y.mean())}
+
+
+def _fit_stumps(
+    X: np.ndarray, y: np.ndarray, rounds: int, learning_rate: float
+) -> Dict[str, object]:
+    n, p = X.shape
+    base = float(y.mean())
+    resid = y - base
+    order = np.argsort(X, axis=0, kind="stable")
+    feats: List[int] = []
+    thrs: List[float] = []
+    lefts: List[float] = []
+    rights: List[float] = []
+    for _ in range(rounds):
+        best: Optional[Tuple[float, int, float, float, float]] = None
+        for j in range(p):
+            xs = X[order[:, j], j]
+            rs = resid[order[:, j]]
+            splits = np.nonzero(xs[:-1] < xs[1:])[0]
+            if splits.size == 0:
+                continue
+            csum = np.cumsum(rs)
+            total = csum[-1]
+            n_left = splits + 1.0
+            n_right = n - n_left
+            s_left = csum[splits]
+            s_right = total - s_left
+            # SSE reduction of the split (up to a constant): the variance
+            # explained by the two leaf means.
+            gain = s_left**2 / n_left + s_right**2 / n_right
+            k = int(np.argmax(gain))
+            if best is None or gain[k] > best[0] + 1e-12:
+                thr = 0.5 * (xs[splits[k]] + xs[splits[k] + 1])
+                best = (
+                    float(gain[k]),
+                    j,
+                    float(thr),
+                    float(s_left[k] / n_left[k]),
+                    float(s_right[k] / n_right[k]),
+                )
+        if best is None or best[0] <= 1e-15:
+            break
+        _, j, thr, left, right = best
+        left *= learning_rate
+        right *= learning_rate
+        feats.append(j)
+        thrs.append(thr)
+        lefts.append(left)
+        rights.append(right)
+        resid = resid - np.where(X[:, j] <= thr, left, right)
+    return {
+        "kind": "stumps",
+        "base": base,
+        "feat": feats,
+        "thr": thrs,
+        "left": lefts,
+        "right": rights,
+    }
+
+
+def _predict_head(head: Mapping[str, object], X: np.ndarray) -> np.ndarray:
+    if head["kind"] == "ridge":
+        return X @ np.asarray(head["coef"]) + head["intercept"]
+    out = np.full(X.shape[0], head["base"], dtype=np.float64)
+    for j, thr, left, right in zip(
+        head["feat"], head["thr"], head["left"], head["right"]
+    ):
+        out += np.where(X[:, j] <= thr, left, right)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the model
+
+
+@dataclass
+class RankModel:
+    """A fitted ranker: feature vocabulary, scaler, and cost heads."""
+
+    kind: str
+    feature_names: Tuple[str, ...]
+    mean: np.ndarray
+    scale: np.ndarray
+    heads: Dict[str, Dict[str, object]]
+    rows: Dict[str, int]
+    min_coverage: int = 8
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    #: Key of the cross-program head in :attr:`heads`.
+    GLOBAL = ""
+
+    def coverage(self, fingerprint: str, target: str = "cpu") -> int:
+        """Training rows backing the (program, target) head; 0 = unseen."""
+        return self.rows.get(head_key(fingerprint, target), 0)
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        return (X - self.mean) / self.scale
+
+    def predict(
+        self,
+        features: Sequence[Mapping[str, float]],
+        fingerprint: str = "",
+        target: str = "cpu",
+    ) -> np.ndarray:
+        """Predicted ``log(cost)`` per feature dict (lower = better)."""
+        X = np.stack(
+            [feature_vector(f, self.feature_names) for f in features]
+        )
+        key = head_key(fingerprint, target)
+        head = self.heads.get(key, self.heads[self.GLOBAL])
+        return _predict_head(head, self._standardize(X))
+
+    def rank(
+        self,
+        program,
+        combos: Sequence[Tuple[int, ...]],
+        dims: Optional[int] = None,
+        threads: int = 32,
+        target: str = "cpu",
+        fingerprint: str = "",
+        bounds: Optional[Sequence[int]] = None,
+    ) -> List[Tuple[Tuple[int, ...], float]]:
+        """Candidates with predicted scores, best first.
+
+        Scores are quantized to :data:`SCORE_QUANTUM` before sorting —
+        candidates the model cannot reliably distinguish (e.g. a class of
+        tilings with identical analytical cost) tie, and ties break on
+        the tile-size tuple.  That keeps the cut deterministic *and*
+        ranks each tied class's canonical (lowest tile-size) member
+        first, which is exactly the representative the exhaustive
+        sweep's tie-break would have chosen.
+        """
+        from .features import ranking_features
+
+        if not combos:
+            return []
+        feats = [
+            ranking_features(program, sizes, dims, threads, bounds)
+            for sizes in combos
+        ]
+        scores = self.predict(feats, fingerprint=fingerprint, target=target)
+        return sorted(
+            zip([tuple(c) for c in combos], (float(s) for s in scores)),
+            key=lambda cs: (round(cs[1] / SCORE_QUANTUM), cs[0]),
+        )
+
+    # -- (de)serialization -------------------------------------------------
+
+    def as_payload(self) -> Dict[str, object]:
+        return {
+            "schema": MODEL_SCHEMA,
+            "kind": self.kind,
+            "feature_names": list(self.feature_names),
+            "mean": self.mean.tolist(),
+            "scale": self.scale.tolist(),
+            "heads": self.heads,
+            "rows": self.rows,
+            "min_coverage": self.min_coverage,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "RankModel":
+        if not isinstance(payload, Mapping) or payload.get("schema") != MODEL_SCHEMA:
+            found = (
+                payload.get("schema") if isinstance(payload, Mapping) else None
+            )
+            raise ModelSchemaError(
+                f"model schema is {found!r}, expected {MODEL_SCHEMA!r}"
+            )
+        return cls(
+            kind=str(payload["kind"]),
+            feature_names=tuple(payload["feature_names"]),
+            mean=np.asarray(payload["mean"], dtype=np.float64),
+            scale=np.asarray(payload["scale"], dtype=np.float64),
+            heads=dict(payload["heads"]),
+            rows=dict(payload["rows"]),
+            min_coverage=int(payload.get("min_coverage", 8)),
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+def save_model(model: RankModel, path: Optional[str] = None) -> str:
+    path = path or default_model_path()
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as f:
+        pickle.dump(model.as_payload(), f, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return path
+
+
+def load_model(path: Optional[str] = None) -> RankModel:
+    """Load and schema-check a pickled model; raises
+    :class:`ModelSchemaError` on a wrong or missing schema tag."""
+    path = path or default_model_path()
+    with open(path, "rb") as f:
+        payload = pickle.load(f)
+    return RankModel.from_payload(payload)
+
+
+# ---------------------------------------------------------------------------
+# fitting
+
+
+def fit_records(
+    records: Iterable[Mapping[str, object]],
+    kind: str = "stumps",
+    rounds: int = 400,
+    learning_rate: float = 0.5,
+    ridge_lambda: float = 1.0,
+    min_program_rows: int = 8,
+    min_coverage: int = 8,
+) -> RankModel:
+    """Fit a :class:`RankModel` on dataset records (:mod:`repro.data`).
+
+    Duplicate (fingerprint, target, tile_sizes) rows keep only the most
+    recent record, so re-collected sweeps refine rather than over-weight.
+    """
+    if kind not in ("ridge", "stumps"):
+        raise ValueError(f"unknown model kind {kind!r}; use 'ridge' or 'stumps'")
+    latest: Dict[Tuple[str, str, Tuple[int, ...]], Mapping[str, object]] = {}
+    for r in records:
+        latest[
+            (r["fingerprint"], r["target"], tuple(r["tile_sizes"]))
+        ] = r
+    rows = list(latest.values())
+    if not rows:
+        raise ValueError("no dataset records to fit on")
+
+    X = np.stack(
+        [feature_vector(r["features"], FEATURE_NAMES) for r in rows]
+    )
+    y = np.array([math.log(float(r["cost"])) for r in rows], dtype=np.float64)
+    mean = X.mean(axis=0)
+    scale = X.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    Xs = (X - mean) / scale
+
+    def _fit(Xg: np.ndarray, yg: np.ndarray) -> Dict[str, object]:
+        if kind == "ridge":
+            return _fit_ridge(Xg, yg, ridge_lambda)
+        return _fit_stumps(Xg, yg, rounds, learning_rate)
+
+    heads: Dict[str, Dict[str, object]] = {RankModel.GLOBAL: _fit(Xs, y)}
+    counts: Dict[str, int] = {}
+    groups: Dict[str, List[int]] = {}
+    for i, r in enumerate(rows):
+        key = head_key(r["fingerprint"], r["target"])
+        groups.setdefault(key, []).append(i)
+    for key in sorted(groups):
+        idx = groups[key]
+        counts[key] = len(idx)
+        if len(idx) >= min_program_rows:
+            sel = np.array(idx)
+            heads[key] = _fit(Xs[sel], y[sel])
+
+    pred = np.empty_like(y)
+    for key, idx in groups.items():
+        sel = np.array(idx)
+        head = heads.get(key, heads[RankModel.GLOBAL])
+        pred[sel] = _predict_head(head, Xs[sel])
+    rmse = float(np.sqrt(np.mean((pred - y) ** 2)))
+
+    return RankModel(
+        kind=kind,
+        feature_names=FEATURE_NAMES,
+        mean=mean,
+        scale=scale,
+        heads=heads,
+        rows=counts,
+        min_coverage=min_coverage,
+        meta={
+            "rows": len(rows),
+            "programs": len(groups),
+            "per_program_heads": len(heads) - 1,
+            "train_rmse_log": rmse,
+            "rounds": rounds,
+            "learning_rate": learning_rate,
+            "ridge_lambda": ridge_lambda,
+        },
+    )

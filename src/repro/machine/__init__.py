@@ -6,6 +6,7 @@ from .cost import (
     ProgramWork,
     analyze_optimized,
     analyze_scheduled,
+    work_features,
 )
 from .cpu import CPUSpec, DEFAULT_CPU, cluster_time as cpu_cluster_time
 from .cpu import program_time as cpu_time
@@ -37,4 +38,5 @@ __all__ = [
     "network_time",
     "roofline",
     "speedup_over",
+    "work_features",
 ]

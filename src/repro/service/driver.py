@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir import Program
+from ..options import _UNSET
 from . import instrument
 from .cache import CompileCache
 from .fingerprint import fingerprint_program, fingerprint_request
@@ -353,9 +354,9 @@ def _dispatch(
 
 def compile_batch(
     requests: Sequence[CompileRequest],
-    mode: str = "auto",
-    max_workers: Optional[int] = None,
-    cache: Optional[CompileCache] = None,
+    mode: str = _UNSET,
+    max_workers: Optional[int] = _UNSET,
+    cache: Optional[CompileCache] = _UNSET,
     options=None,
 ) -> List[CompileOutcome]:
     """Compile many requests; one outcome per request, same order.
@@ -366,15 +367,19 @@ def compile_batch(
 
     A :class:`repro.CompileOptions` supplies ``mode``/``jobs``/``cache``
     in one validated bundle; the legacy keywords funnel through the same
-    validation.
+    validation.  Passing a legacy keyword — even at its default value
+    (``mode="auto"``, ``max_workers=None``, ``cache=None``) — together
+    with ``options`` is rejected.
+
+    When ambient dataset collection is on (``$REPRO_DATASET``), each
+    successful explicitly-tiled request also appends one candidate record
+    to the autotune dataset (:mod:`repro.data`); requests the autotuner
+    tagged record through the tuner instead.
     """
-    from ..options import _UNSET, resolve_options
+    from ..options import resolve_options
 
     opts = resolve_options(
-        options,
-        mode=mode if mode != "auto" else _UNSET,
-        jobs=max_workers if max_workers is not None else _UNSET,
-        cache=cache if cache is not None else _UNSET,
+        options, mode=mode, jobs=max_workers, cache=cache
     )
     mode, max_workers, cache = opts.mode, opts.jobs, opts.cache
     with instrument.span("compile_batch", mode=mode, requests=len(requests)):
@@ -423,15 +428,79 @@ def compile_batch(
                 out.seconds = elapsed / max(len(to_compile), 1)
         if cache is not None:
             instrument.count("driver.cache_hits", len(cached))
+        _collect_batch_records(outcomes)
     return outcomes
+
+
+def _collect_batch_records(outcomes: Sequence[CompileOutcome]) -> None:
+    """Append dataset records for a batch's tiled compiles (best effort).
+
+    Only runs under ambient collection (``$REPRO_DATASET``); skips
+    requests without explicit tile sizes (nothing to learn from), failed
+    compiles, and requests the autotuner tagged (the tuner records those
+    itself, with the sweep's exact threads and search context).
+    """
+    from ..data import collection_enabled, dataset_from_env, make_record
+
+    if not collection_enabled():
+        return
+    try:
+        from ..learn.features import ranking_features
+        from ..machine import analyze_optimized, cpu_time, gpu_time, work_features
+
+        records = []
+        seen = set()
+        for out in outcomes:
+            r = out.request
+            if (
+                r.tag == "autotune"
+                or r.tile_sizes is None
+                or not out.ok
+                or out.result is None
+                or out.fingerprint in seen
+            ):
+                continue
+            seen.add(out.fingerprint)
+            try:
+                work = analyze_optimized(out.result)
+                name = r.target if isinstance(r.target, str) else r.target.name
+                cost = (
+                    gpu_time(work) if name == "gpu" else cpu_time(work, 32)
+                )
+                records.append(
+                    make_record(
+                        fingerprint=fingerprint_program(r.program),
+                        tile_sizes=r.tile_sizes,
+                        cost=cost,
+                        features=ranking_features(
+                            r.program, r.tile_sizes, len(r.tile_sizes)
+                        ),
+                        program=r.program.name,
+                        target=name,
+                        startup=r.startup,
+                        threads=32,
+                        dims=len(r.tile_sizes),
+                        work=work_features(work),
+                        source="batch",
+                    )
+                )
+            except Exception:
+                continue
+        if records:
+            dataset = dataset_from_env()
+            if dataset is not None:
+                dataset.append(records)
+    except Exception:
+        # Collection must never fail a compile batch.
+        pass
 
 
 def cached_optimize(
     program: Program,
-    target: Union[str, object] = "cpu",
-    tile_sizes: Optional[Sequence[int]] = None,
-    startup: str = "smartfuse",
-    cache: Optional[CompileCache] = None,
+    target: Union[str, object] = _UNSET,
+    tile_sizes: Optional[Sequence[int]] = _UNSET,
+    startup: str = _UNSET,
+    cache: Optional[CompileCache] = _UNSET,
     options=None,
 ):
     """Memoized :func:`repro.core.optimize`.
@@ -439,18 +508,20 @@ def cached_optimize(
     Uses the process-wide default cache when none is given; raises
     exactly what ``optimize`` would raise on failure.  Accepts a
     :class:`repro.CompileOptions` (``target``/``tile_sizes``/``startup``/
-    ``cache``) or the legacy keywords, normalized the same way.
+    ``cache``) or the legacy keywords, normalized the same way; mixing
+    ``options`` with any explicitly-passed legacy keyword — default
+    values included — is rejected.
     """
     from ..core import optimize
-    from ..options import _UNSET, resolve_options
+    from ..options import resolve_options
     from .cache import default_cache
 
     opts = resolve_options(
         options,
-        target=target if target != "cpu" else _UNSET,
-        tile_sizes=tile_sizes if tile_sizes is not None else _UNSET,
-        startup=startup if startup != "smartfuse" else _UNSET,
-        cache=cache if cache is not None else _UNSET,
+        target=target,
+        tile_sizes=tile_sizes,
+        startup=startup,
+        cache=cache,
     )
     cache = opts.cache if opts.cache is not None else default_cache()
     key = fingerprint_request(program, opts.target, opts.tile_sizes, opts.startup)

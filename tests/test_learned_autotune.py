@@ -1,0 +1,463 @@
+"""The learned-autotune stack: dataset, ranker, pruned search, bugfixes.
+
+Covers the :mod:`repro.data` candidate store (schema validation, byte
+determinism across ``PYTHONHASHSEED``), the :mod:`repro.learn` ranking
+model (fit/rank sanity, pickle schema rejection), the autotuner's
+``pruned`` search mode (parity with the exhaustive sweep on every
+determinism workload, fallback paths), and regressions for the options /
+autotune bugfix sweep (legacy-default mixing, ``top()`` tie-break,
+per-dimension live-out bounds).
+"""
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.data import (
+    DATASET_SCHEMA,
+    Dataset,
+    collection_enabled,
+    make_record,
+    resolve_dataset,
+    validate_record,
+)
+from repro.learn import (
+    FEATURE_NAMES,
+    ModelSchemaError,
+    RankModel,
+    fit_records,
+    load_model,
+    ranking_features,
+    save_model,
+)
+from repro.learn.features import liveout_extent_bounds
+from repro.options import CompileOptions
+from repro.scheduler.autotune import (
+    TuneResult,
+    autotune_tile_sizes,
+    default_top_k,
+)
+from repro.workloads import build_workload
+from tests.test_determinism import ALL_WORKLOADS
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+SRC = os.path.join(ROOT, "src")
+
+CANDS = (4, 8, 16)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DATASET", raising=False)
+    monkeypatch.delenv("REPRO_AUTOTUNE_MODEL", raising=False)
+    return tmp_path
+
+
+def _record(**over):
+    base = dict(
+        fingerprint="f" * 12,
+        tile_sizes=(8, 16),
+        cost=1.5e-4,
+        features={"size_0": 8.0, "size_1": 16.0},
+        program="p",
+    )
+    base.update(over)
+    return make_record(**base)
+
+
+# ---------------------------------------------------------------------------
+# dataset
+
+
+def test_dataset_append_roundtrip(tmp_path):
+    ds = Dataset(tmp_path / "d.jsonl")
+    assert ds.append([_record(), _record(tile_sizes=(4, 4), cost=2e-4)]) == 2
+    records = list(ds)
+    assert len(records) == len(ds) == 2
+    assert records[0]["schema"] == DATASET_SCHEMA
+    assert records[0]["tile_sizes"] == [8, 16]
+    assert records[1]["cost"] == pytest.approx(2e-4)
+    info = ds.info()
+    assert info["records"] == 2
+    assert info["invalid_lines"] == 0
+    assert info["by_program"] == {"p": 2}
+
+
+def test_dataset_rejects_invalid_and_skips_corrupt(tmp_path):
+    ds = Dataset(tmp_path / "d.jsonl")
+    with pytest.raises(ValueError, match="cost"):
+        ds.append([_record(cost=-1.0)])
+    with pytest.raises(ValueError, match="tile_sizes"):
+        ds.append([_record(tile_sizes=())])
+    bad = _record()
+    bad["schema"] = "repro-autotune-dataset/99"
+    with pytest.raises(ValueError, match="schema"):
+        ds.append([bad])
+    # Corrupt lines on disk are counted and skipped, never fatal.
+    ds.append([_record()])
+    with open(ds.path, "a", encoding="utf-8") as f:
+        f.write("{not json\n")
+        f.write(json.dumps({"schema": DATASET_SCHEMA}) + "\n")
+    assert len(ds) == 1
+    assert ds.info()["invalid_lines"] == 2
+
+
+def test_validate_record_accepts_make_record():
+    assert validate_record(_record()) == []
+    assert validate_record(_record(work={"ops": 1.0})) == []
+    assert validate_record({"schema": DATASET_SCHEMA}) != []
+
+
+def test_dataset_bytes_deterministic_across_hash_seeds(tmp_path):
+    """The serialized store is byte-identical under PYTHONHASHSEED."""
+    script = (
+        "import sys\n"
+        "from repro.data import Dataset, make_record\n"
+        "feats = {'b': 2.0, 'a': 1.0, 'size_0': 8.0}\n"
+        "work = {'z': 3.0, 'ops': 9.0}\n"
+        "ds = Dataset(sys.argv[1])\n"
+        "ds.append([make_record('f'*12, (8, 16), 1.5e-4, feats,\n"
+        "                       program='p', work=work),\n"
+        "           make_record('g'*12, (4, 4), 2.5e-4, feats)])\n"
+    )
+    outs = []
+    for seed, name in (("0", "a.jsonl"), ("12345", "b.jsonl")):
+        path = tmp_path / name
+        env = dict(
+            os.environ,
+            PYTHONHASHSEED=seed,
+            PYTHONPATH=SRC,
+            REPRO_CACHE_DIR=str(tmp_path),
+        )
+        subprocess.run(
+            [sys.executable, "-c", script, str(path)], env=env, check=True
+        )
+        outs.append(path.read_bytes())
+    assert outs[0] == outs[1]
+
+
+def test_resolve_dataset_spellings(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_DATASET", raising=False)
+    assert resolve_dataset(None) is None  # env off
+    assert not collection_enabled()
+    assert resolve_dataset(False) is None
+    explicit = resolve_dataset(tmp_path / "x.jsonl")
+    assert explicit.path == str(tmp_path / "x.jsonl")
+    assert resolve_dataset(explicit) is explicit
+    monkeypatch.setenv("REPRO_DATASET", "1")
+    assert collection_enabled()
+    ambient = resolve_dataset(None)
+    assert ambient is not None and str(tmp_path) in ambient.path
+    monkeypatch.setenv("REPRO_DATASET", str(tmp_path / "y.jsonl"))
+    assert resolve_dataset(None).path == str(tmp_path / "y.jsonl")
+    monkeypatch.setenv("REPRO_DATASET", "0")
+    assert resolve_dataset(None) is None
+
+
+# ---------------------------------------------------------------------------
+# model
+
+
+def _toy_rows(n=24):
+    rows = []
+    for i in range(n):
+        s0, s1 = 4 << (i % 3), 4 << ((i // 3) % 3)
+        feats = {"size_0": float(s0), "size_1": float(s1),
+                 "log2_volume": float((s0 * s1).bit_length())}
+        rows.append(
+            _record(
+                fingerprint="f" * 12,
+                tile_sizes=(s0, s1),
+                cost=1e-4 * (1.0 + 0.01 * (s0 + s1) + 0.3 * (s0 == 16)),
+                features=feats,
+            )
+        )
+    return rows
+
+
+def test_fit_predict_and_coverage():
+    model = fit_records(_toy_rows())
+    assert model.kind == "stumps"
+    assert model.feature_names == FEATURE_NAMES
+    assert model.coverage("f" * 12, "cpu") == 9  # deduped grid
+    assert model.coverage("unseen", "cpu") == 0
+    scores = model.predict(
+        [r["features"] for r in _toy_rows(9)], fingerprint="f" * 12
+    )
+    assert len(scores) == 9
+    ridge = fit_records(_toy_rows(), kind="ridge")
+    assert ridge.heads[RankModel.GLOBAL]["kind"] == "ridge"
+    with pytest.raises(ValueError, match="kind"):
+        fit_records(_toy_rows(), kind="forest")
+    with pytest.raises(ValueError, match="no dataset records"):
+        fit_records([])
+
+
+def test_model_pickle_schema_rejection(tmp_path):
+    model = fit_records(_toy_rows())
+    path = save_model(model, str(tmp_path / "m.pkl"))
+    loaded = load_model(path)
+    assert loaded.kind == model.kind
+    assert loaded.rows == model.rows
+
+    payload = model.as_payload()
+    payload["schema"] = "repro-ranker/0"
+    stale = tmp_path / "stale.pkl"
+    stale.write_bytes(pickle.dumps(payload))
+    with pytest.raises(ModelSchemaError, match="repro-ranker/1"):
+        load_model(str(stale))
+    foreign = tmp_path / "foreign.pkl"
+    foreign.write_bytes(pickle.dumps({"weights": [1, 2, 3]}))
+    with pytest.raises(ModelSchemaError):
+        load_model(str(foreign))
+
+
+# ---------------------------------------------------------------------------
+# pruned search
+
+
+@pytest.fixture(scope="module")
+def trained(tmp_path_factory):
+    """Exhaustive sweeps + one model over every determinism workload."""
+    tmp = tmp_path_factory.mktemp("learned")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp)
+    try:
+        dataset = Dataset(tmp / "autotune.jsonl")
+        programs, exhaustive = {}, {}
+        for name, size in ALL_WORKLOADS:
+            prog = build_workload(name, size)
+            programs[name] = prog
+            exhaustive[name] = autotune_tile_sizes(
+                prog, threads=32, candidates=CANDS, dims=2, collect=dataset
+            )
+        model = fit_records(dataset.records())
+        path = save_model(model, str(tmp / "ranker.pkl"))
+        yield programs, exhaustive, dataset, model, path
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old
+
+
+def test_pruned_matches_exhaustive_on_all_workloads(trained):
+    programs, exhaustive, _, _, model_path = trained
+    for name, _ in ALL_WORKLOADS:
+        ex = exhaustive[name]
+        pr = autotune_tile_sizes(
+            programs[name], threads=32, candidates=CANDS, dims=2,
+            search="pruned", model=model_path, top_k=2, collect=False,
+        )
+        assert pr.search == "pruned", (name, pr.fallback_reason)
+        assert pr.fallback_reason is None
+        assert pr.best_sizes == ex.best_sizes, name
+        assert pr.best_time == ex.best_time, name
+        assert len(pr.evaluations) == 2
+        assert pr.pruned_out == len(ex.evaluations) - 2
+        assert set(pr.model_scores) == set(ex.evaluations)
+        # every exactly-evaluated candidate agrees with the exhaustive cost
+        for sizes, cost in pr.evaluations.items():
+            assert cost == ex.evaluations[sizes], (name, sizes)
+
+
+def test_dataset_collected_one_record_per_evaluation(trained):
+    _, exhaustive, dataset, _, _ = trained
+    expected = sum(len(r.evaluations) for r in exhaustive.values())
+    records = list(dataset)
+    assert len(records) == expected
+    sample = records[0]
+    assert sample["source"] == "autotune"
+    assert sample["schema"] == DATASET_SCHEMA
+    assert "work" in sample and sample["work"]["ops"] > 0
+    assert set(sample["features"]) <= set(FEATURE_NAMES)
+
+
+def test_pruned_falls_back_without_model(cache_dir):
+    prog = build_workload("unsharp_mask", 128)
+    r = autotune_tile_sizes(
+        prog, candidates=CANDS, dims=2, search="pruned",
+        model=str(cache_dir / "missing.pkl"), collect=False,
+    )
+    assert r.search == "exhaustive"
+    assert r.fallback_reason == "no model available"
+    assert len(r.evaluations) == 9
+
+
+def test_pruned_falls_back_on_thin_coverage(trained, cache_dir):
+    model = trained[3]
+    prog = build_workload("mvt", 48)  # different size -> unseen fingerprint
+    r = autotune_tile_sizes(
+        prog, candidates=CANDS, dims=2, search="pruned", model=model,
+        collect=False,
+    )
+    assert r.search == "exhaustive"
+    assert "coverage" in r.fallback_reason
+
+
+def test_pruned_rejects_unknown_search(cache_dir):
+    prog = build_workload("mvt", 64)
+    with pytest.raises(ValueError, match="search mode"):
+        autotune_tile_sizes(prog, search="genetic")
+
+
+def test_default_top_k():
+    assert default_top_k(25) == 3
+    assert default_top_k(49) == 6
+    assert default_top_k(4) == 2
+
+
+# ---------------------------------------------------------------------------
+# ambient collection (compile_batch + env)
+
+
+def test_compile_batch_collects_untagged_tiled_requests(cache_dir, monkeypatch):
+    from repro.service.driver import CompileRequest, compile_batch
+
+    path = cache_dir / "batch.jsonl"
+    monkeypatch.setenv("REPRO_DATASET", str(path))
+    prog = build_workload("mvt", 64)
+    outs = compile_batch(
+        [
+            CompileRequest(prog, tile_sizes=(8, 8)),
+            CompileRequest(prog, tile_sizes=(8, 8)),  # dedup: one record
+            CompileRequest(prog, tile_sizes=(4, 4), tag="autotune"),  # skipped
+            CompileRequest(prog),  # untiled: nothing to learn from
+        ],
+        mode="serial",
+    )
+    assert all(o.ok for o in outs)
+    records = list(Dataset(path))
+    assert len(records) == 1
+    assert records[0]["source"] == "batch"
+    assert records[0]["tile_sizes"] == [8, 8]
+    assert records[0]["work"]["ops"] > 0
+
+
+def test_autotune_ambient_env_collection(cache_dir, monkeypatch):
+    path = cache_dir / "ambient.jsonl"
+    monkeypatch.setenv("REPRO_DATASET", str(path))
+    prog = build_workload("mvt", 64)
+    r = autotune_tile_sizes(prog, candidates=(4, 8), dims=2)
+    # the tuner records its evaluations once; the tagged batch requests
+    # inside the sweep are not double-counted by the driver hook
+    assert len(Dataset(path)) == len(r.evaluations)
+
+
+# ---------------------------------------------------------------------------
+# bugfix regressions
+
+
+def test_mixing_options_with_explicit_default_kwargs_rejected(cache_dir):
+    """Explicitly-passed default values are no longer silently dropped."""
+    from repro.core import optimize
+    from repro.service.driver import CompileRequest, cached_optimize, compile_batch
+
+    prog = build_workload("mvt", 64)
+    opts = CompileOptions(target="cpu")
+    with pytest.raises(TypeError, match="not both"):
+        autotune_tile_sizes(prog, target="cpu", options=opts)
+    with pytest.raises(TypeError, match="not both"):
+        autotune_tile_sizes(prog, mode="serial", options=opts)
+    with pytest.raises(TypeError, match="not both"):
+        optimize(prog, target="cpu", options=opts)
+    with pytest.raises(TypeError, match="not both"):
+        optimize(prog, tile_sizes=None, options=opts)
+    with pytest.raises(TypeError, match="not both"):
+        cached_optimize(prog, startup="smartfuse", options=opts)
+    with pytest.raises(TypeError, match="not both"):
+        compile_batch([CompileRequest(prog)], mode="auto", options=opts)
+    # the pure-legacy spellings still work, defaults included
+    result = optimize(prog, target="cpu", tile_sizes=(8, 8))
+    assert result.tile_sizes == (8, 8)
+
+
+def test_tune_result_top_tie_break_is_insertion_independent():
+    a = TuneResult(best_sizes=(4, 4), best_time=1.0)
+    b = TuneResult(best_sizes=(4, 4), best_time=1.0)
+    a.evaluations = {(8, 8): 2.0, (4, 4): 1.0, (2, 2): 1.0, (16, 16): 2.0}
+    b.evaluations = {(16, 16): 2.0, (2, 2): 1.0, (4, 4): 1.0, (8, 8): 2.0}
+    assert a.top(4) == b.top(4) == [
+        ((2, 2), 1.0), ((4, 4), 1.0), ((8, 8), 2.0), ((16, 16), 2.0)
+    ]
+
+
+def test_per_dimension_bounds_from_minimum_liveout(cache_dir):
+    """Out-of-range candidates are skipped and recorded, per dimension."""
+    prog = build_workload("doitgen", 16)  # small live-out extents
+    bounds = liveout_extent_bounds(prog, 2)
+    r = autotune_tile_sizes(prog, candidates=(4, 8, 64, 512), dims=2)
+    skipped = {s for s, msg in r.failures.items() if msg.startswith("skipped:")}
+    for sizes in skipped:
+        assert any(sizes[d] > bounds[d] for d in range(2))
+    for sizes in r.evaluations:
+        assert all(sizes[d] <= bounds[d] for d in range(2))
+    assert skipped, "expected out-of-range candidates on a 16^3 workload"
+    # every grid point is accounted for: evaluated, failed, or skipped
+    assert len(r.evaluations) + len(r.failures) == 16
+    # the best candidate respects the per-dimension bounds
+    assert all(r.best_sizes[d] <= bounds[d] for d in range(2))
+
+
+def test_liveout_extent_bounds_shapes():
+    prog = build_workload("unsharp_mask", 128)
+    b = liveout_extent_bounds(prog, 2)
+    assert len(b) == 2 and all(x > 0 for x in b)
+    # rank-1 live-outs fall back to their maximal extent (the historical
+    # scalar derivation) instead of crashing on a missing dimension
+    atax = build_workload("atax", 64)
+    b2 = liveout_extent_bounds(atax, 2)
+    assert len(b2) == 2 and all(x > 0 for x in b2)
+
+
+def test_ranking_features_are_cheap_and_stable():
+    prog = build_workload("mvt", 64)
+    f1 = ranking_features(prog, (8, 16))
+    f2 = ranking_features(prog, (8, 16))
+    assert f1 == f2
+    assert set(f1) <= set(FEATURE_NAMES)
+    assert f1["size_0"] == 8.0 and f1["size_1"] == 16.0
+    assert f1["log2_size_prod_01"] == 3.0 * 4.0
+
+
+# ---------------------------------------------------------------------------
+# CLI round trip
+
+
+def test_cli_data_learn_tune_roundtrip(cache_dir, capsys):
+    from repro.__main__ import main
+
+    tune = ["tune", "mvt", "--size", "64", "--candidates", "4", "8", "16"]
+    assert main(tune + ["--collect"]) == 0
+    capsys.readouterr()
+
+    assert main(["data", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "records:       9" in out
+    assert "mvt" in out
+
+    assert main(["learn", "fit"]) == 0
+    out = capsys.readouterr().out
+    assert "fitted stumps ranker on 9 records" in out
+
+    assert main(tune + ["--search", "pruned", "--top-k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "(pruned)" in out
+    assert "pruned:          7 candidates cut" in out
+
+    assert main(["learn", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "kind:      stumps" in out
+
+    assert main(["data", "export", "--limit", "2"]) == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+    assert len(lines) == 2 and json.loads(lines[0])["schema"] == DATASET_SCHEMA
+
+    assert main(["data", "clear"]) == 0
+    assert "removed 9 records" in capsys.readouterr().out

@@ -8,6 +8,7 @@ and reports the recomputation and execution-time gap.
 """
 
 from common import cpu_time, image_program, print_table, save_results
+from repro import CompileOptions
 from repro.core import optimize
 from repro.machine import analyze_optimized
 
@@ -20,7 +21,7 @@ def compute_ablation():
     raw = {}
     for name in PIPELINES:
         mod, prog = image_program(name)
-        result = optimize(prog, target="cpu", tile_sizes=mod.TILE_SIZES)
+        result = optimize(prog, CompileOptions(target="cpu", tile_sizes=mod.TILE_SIZES))
         exact = analyze_optimized(result, overlap="exact")
         loose = analyze_optimized(result, overlap="box_total")
         t_exact = cpu_time(exact, THREADS)

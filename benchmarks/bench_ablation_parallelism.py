@@ -10,6 +10,7 @@ parallelism.
 """
 
 from common import print_table, save_results
+from repro import CompileOptions
 from repro.core import CPU, GPU, TargetSpec, optimize
 from repro.ir import ProgramBuilder
 from repro.scheduler import MINFUSE
@@ -40,7 +41,7 @@ def compute_ablation():
     ):
         # minfuse start-up keeps the computation spaces separated so the
         # guard decision is visible (smartfuse would pre-merge this chain).
-        res = optimize(prog, target=target, tile_sizes=(8, 64), startup=MINFUSE)
+        res = optimize(prog, CompileOptions(target=target, tile_sizes=(8, 64), startup=MINFUSE))
         fused = res.fusion_summary()
         results[label] = {
             "clusters": fused,

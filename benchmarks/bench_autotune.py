@@ -31,6 +31,7 @@ import sys
 import time
 
 from common import image_program, print_table, save_results
+from repro import CompileOptions
 from repro.codegen import print_tree
 from repro.core import optimize
 from repro.presburger import memo
@@ -56,24 +57,21 @@ def _sweep_once(prog, flag: str):
     os.environ[ENV] = flag
     memo.clear_all()
     t0 = time.perf_counter()
-    result = autotune_tile_sizes(
-        prog, target="cpu", threads=32, candidates=SWEEP_CANDIDATES,
-        dims=2, mode="serial",
-    )
+    result = autotune_tile_sizes(prog, options=CompileOptions(target="cpu", mode="serial"), threads=32, candidates=SWEEP_CANDIDATES, dims=2)
     elapsed = time.perf_counter() - t0
-    best = optimize(prog, target="cpu", tile_sizes=result.best_sizes)
+    best = optimize(prog, CompileOptions(target="cpu", tile_sizes=result.best_sizes))
     code = print_tree(best.tree, prog, style="openmp")
     return result, code, elapsed
 
 
 def compute_parametric_sweep(workloads=SWEEP_WORKLOADS, reps: int = 3):
-    from repro.__main__ import _build_workload
+    from repro.api import get_workload
 
     rows, raw = [], {}
     old = os.environ.get(ENV)
     try:
         for name in workloads:
-            prog = _build_workload(name, SWEEP_SIZE)
+            prog = get_workload(name, SWEEP_SIZE)
             seed_t = par_t = float("inf")
             for _ in range(reps):
                 seed, seed_code, t = _sweep_once(prog, "0")
@@ -126,7 +124,7 @@ def compute_pruned_sweep(workloads=SWEEP_WORKLOADS):
     """Collect -> fit -> pruned rerun; asserts parity and >= 5x reduction."""
     import tempfile
 
-    from repro.__main__ import _build_workload
+    from repro.api import get_workload
     from repro.data import Dataset
     from repro.learn import fit_records, save_model
 
@@ -135,7 +133,7 @@ def compute_pruned_sweep(workloads=SWEEP_WORKLOADS):
         dataset = Dataset(os.path.join(tmp, "autotune.jsonl"))
         programs, exhaustive = {}, {}
         for name in workloads:
-            prog = _build_workload(name, SWEEP_SIZE)
+            prog = get_workload(name, SWEEP_SIZE)
             programs[name] = prog
             exhaustive[name] = autotune_tile_sizes(
                 prog, threads=32, candidates=SWEEP_CANDIDATES, dims=2,
@@ -187,9 +185,7 @@ def compute_autotune():
     raw = {}
     for name in PIPELINES:
         mod, prog = image_program(name)
-        result = autotune_tile_sizes(
-            prog, target="cpu", threads=32, candidates=CANDIDATES
-        )
+        result = autotune_tile_sizes(prog, options=CompileOptions(target="cpu", mode="serial"), threads=32, candidates=CANDIDATES)
         paper_sizes = tuple(mod.TILE_SIZES)
         paper_time = result.evaluations.get(paper_sizes)
         raw[name] = {

@@ -50,16 +50,16 @@ SRC = os.path.join(os.path.dirname(__file__), "..", "src")
 #: memory tier — only the spec'd stores carry state in).
 _CHILD = """
 import hashlib, json, sys, time
-from repro.__main__ import _build_workload, _default_tiles
+from repro.api import CompileOptions, default_tile_sizes, get_workload
 from repro.codegen import print_tree
 from repro.service import CompileRequest, compile_batch, resolve_cache
 
 name, size, spec = sys.argv[1], int(sys.argv[2]), sys.argv[3]
-prog = _build_workload(name, size)
+prog = get_workload(name, size)
 cache = resolve_cache(spec)
-request = CompileRequest(prog, "cpu", _default_tiles(name))
+request = CompileRequest(prog, "cpu", default_tile_sizes(name))
 t0 = time.perf_counter()
-(outcome,) = compile_batch([request], mode="serial", cache=cache)
+(outcome,) = compile_batch([request], options=CompileOptions(mode="serial", cache=cache))
 elapsed = time.perf_counter() - t0
 assert outcome.ok, outcome.error
 cache.flush(30.0)

@@ -27,6 +27,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from common import image_program, print_table, save_results
+from repro import CompileOptions
 from repro.pipelines import conv2d, polybench
 from repro.scheduler.autotune import autotune_tile_sizes
 from repro.service import CompileCache, cached_optimize
@@ -64,18 +65,18 @@ QUICK_WARM_START_WORKLOADS = [("harris", 512), ("atax", 256), ("conv2d", 128)]
 #: spilled into ``cache_dir``.
 _CHILD = """
 import hashlib, json, sys, time
-from repro.__main__ import _build_workload, _default_tiles
+from repro.api import CompileOptions, default_tile_sizes, get_workload
 from repro.codegen import print_tree
 from repro.presburger import memo
 from repro.service import CompileCache, CompileRequest, compile_batch
 
 name, size, cache_dir = sys.argv[1], int(sys.argv[2]), sys.argv[3]
-prog = _build_workload(name, size)
+prog = get_workload(name, size)
 cache = CompileCache(cache_dir=cache_dir)
 cache.clear(results=True, memos=False)
-request = CompileRequest(prog, "cpu", _default_tiles(name))
+request = CompileRequest(prog, "cpu", default_tile_sizes(name))
 t0 = time.perf_counter()
-(outcome,) = compile_batch([request], mode="serial", cache=cache)
+(outcome,) = compile_batch([request], options=CompileOptions(mode="serial", cache=cache))
 elapsed = time.perf_counter() - t0
 assert outcome.ok, outcome.error
 stats = memo.stats()
@@ -146,16 +147,16 @@ def measure_cold_warm():
         with tempfile.TemporaryDirectory() as cache_dir:
             cache = CompileCache(cache_dir=cache_dir)
             t0 = time.perf_counter()
-            cached_optimize(prog, "cpu", tiles, cache=cache)
+            cached_optimize(prog, options=CompileOptions(target="cpu", tile_sizes=tiles, cache=cache))
             cold = time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            cached_optimize(prog, "cpu", tiles, cache=cache)
+            cached_optimize(prog, options=CompileOptions(target="cpu", tile_sizes=tiles, cache=cache))
             warm_memory = time.perf_counter() - t0
 
             disk_only = CompileCache(cache_dir=cache_dir)
             t0 = time.perf_counter()
-            cached_optimize(prog, "cpu", tiles, cache=disk_only)
+            cached_optimize(prog, options=CompileOptions(target="cpu", tile_sizes=tiles, cache=disk_only))
             warm_disk = time.perf_counter() - t0
             assert cache.stats.memory_hits == 1, cache.stats
             assert disk_only.stats.disk_hits == 1, disk_only.stats
@@ -187,20 +188,16 @@ def measure_autotune():
     serial_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    parallel = autotune_tile_sizes(
-        prog, candidates=TUNE_CANDIDATES, dims=2, mode="auto", jobs=4
-    )
+    parallel = autotune_tile_sizes(prog, options=CompileOptions(mode="auto", jobs=4), candidates=TUNE_CANDIDATES, dims=2)
     parallel_s = time.perf_counter() - t0
     assert parallel.best_sizes == serial.best_sizes
     assert parallel.best_time == serial.best_time
 
     with tempfile.TemporaryDirectory() as cache_dir:
         cache = CompileCache(cache_dir=cache_dir)
-        autotune_tile_sizes(prog, candidates=TUNE_CANDIDATES, dims=2, cache=cache)
+        autotune_tile_sizes(prog, options=CompileOptions(cache=cache, mode="serial"), candidates=TUNE_CANDIDATES, dims=2)
         t0 = time.perf_counter()
-        warm = autotune_tile_sizes(
-            prog, candidates=TUNE_CANDIDATES, dims=2, cache=cache
-        )
+        warm = autotune_tile_sizes(prog, options=CompileOptions(cache=cache, mode="serial"), candidates=TUNE_CANDIDATES, dims=2)
         warm_s = time.perf_counter() - t0
         assert warm.best_sizes == serial.best_sizes
 

@@ -19,6 +19,7 @@ from common import (
     print_table,
     save_results,
 )
+from repro import CompileOptions
 from repro.core import optimize
 from repro.scheduler import MAXFUSE, MINFUSE, SMARTFUSE
 
@@ -33,7 +34,7 @@ def compute_compile_times():
         for heuristic in (MINFUSE, SMARTFUSE, MAXFUSE):
             _, t = heuristic_cpu_work(prog, heuristic, ts)
             times[heuristic] = t
-        result = optimize(prog, target="cpu", tile_sizes=ts)
+        result = optimize(prog, CompileOptions(target="cpu", tile_sizes=ts))
         times["ours"] = result.compile_seconds
         raw[name] = times
         rows.append(

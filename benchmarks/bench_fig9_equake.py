@@ -8,6 +8,7 @@ without any manual preprocessing.
 """
 
 from common import cpu_time, fmt_speedup, naive_work, print_table, save_results
+from repro import CompileOptions
 from repro.baselines import scheduled_from_partition
 from repro.core import optimize
 from repro.machine import analyze_optimized, analyze_scheduled
@@ -29,7 +30,7 @@ def compute_fig9():
             # only the outermost loop is tilable: no tiling applied (paper)
             t = cpu_time(analyze_scheduled(sched, None), THREADS)
             entry[heuristic] = base / t
-        ours = optimize(prog, target="cpu", tile_sizes=None)
+        ours = optimize(prog, CompileOptions(target="cpu", tile_sizes=None))
         t_ours = cpu_time(analyze_optimized(ours), THREADS)
         entry["ours"] = base / t_ours
         raw[size] = entry

@@ -24,6 +24,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from common import save_results
+from repro import CompileOptions
 from repro.core import optimize
 from repro.presburger import memo
 from repro.service import instrument
@@ -75,21 +76,21 @@ def _observe_noop():
 
 
 def run_bench(workload: str, size: int, iters: int):
-    from repro.__main__ import _build_workload, _default_tiles
+    from repro.api import default_tile_sizes, get_workload
 
     assert not instrument.active(), "benchmark needs the disabled path"
-    prog = _build_workload(workload, size)
-    tiles = _default_tiles(workload)
+    prog = get_workload(workload, size)
+    tiles = default_tile_sizes(workload)
 
     memo.clear_all()
     t0 = time.perf_counter()
-    optimize(prog, tile_sizes=tiles)
+    optimize(prog, CompileOptions(tile_sizes=tiles))
     compile_seconds = time.perf_counter() - t0
 
     memo.clear_all()
     counter = CallCounter()
     with instrument.collect(report=counter):
-        optimize(prog, tile_sizes=tiles)
+        optimize(prog, CompileOptions(tile_sizes=tiles))
 
     c_span = noop_cost(_span_noop, iters)
     c_count = noop_cost(_count_noop, iters)

@@ -1,0 +1,115 @@
+"""Heterogeneous partitioning benchmark: mixed vs. single-target cost.
+
+The partitioner's claim is that on pipelines mixing NPU-shaped work
+(large-kernel convolutions with cube-worthy arithmetic intensity) with
+stages the NPU cannot express (in-place quantisation), a mixed
+cpu/gpu/npu assignment beats *every* legal single-target compile in
+modeled execution time — transfer costs included, priced from the exact
+Presburger footprint of each cut edge.
+
+This benchmark partitions the two engineered mixed workloads at full
+size, prints the assignment, cut edges and modeled mixed-vs-single
+costs, verifies host-glue parity at a small size (the multi-target
+interpreter run must be bit-identical to a single-target reference),
+and exits non-zero if either claim fails.  Results land in
+``benchmarks/results/partition.json``.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from common import print_table, save_results
+from repro import CompileOptions, PartitionOptions, partition_pipeline
+from repro.codegen import run_program
+from repro.core import optimize
+from repro.partition import execute_partitioned
+from repro.pipelines.mixed import MIXED_BUILDERS
+from repro.workloads import build_workload, default_tile_sizes
+
+WORKLOADS = ("camera_resnet", "edge_infer")
+
+#: Small builds for the parity check (full-size interpretation is slow).
+PARITY_SIZE, PARITY_K = 40, 5
+
+
+def bench_modeled(name: str) -> dict:
+    prog = build_workload(name)
+    sched = partition_pipeline(
+        prog, PartitionOptions(tile_sizes=default_tile_sizes(name))
+    )
+    mixed = sched.modeled["mixed"]
+    single = sched.modeled["single"]
+    beaten = [
+        t for t, s in single.items()
+        if s is not None and mixed["total_seconds"] < s
+    ]
+    legal = [t for t, s in single.items() if s is not None]
+    return {
+        "workload": name,
+        "assignment": dict(sched.assignment),
+        "targets_used": list(sched.targets_used),
+        "partitions": len(sched.partitions),
+        "cuts": [c.as_dict() for c in sched.cuts],
+        "mixed_seconds": mixed["total_seconds"],
+        "transfer_seconds": mixed["transfer_seconds"],
+        "single_seconds": dict(single),
+        "beats_all_single": sorted(beaten) == sorted(legal) and bool(legal),
+    }
+
+
+def check_parity(name: str) -> bool:
+    prog = MIXED_BUILDERS[name](PARITY_SIZE, k=PARITY_K)
+    sched = partition_pipeline(prog, PartitionOptions(tile_sizes=(8, 8)))
+    host, _, _ = execute_partitioned(sched, seed=11)
+    ref = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
+    ref_store, _ = run_program(prog, ref.tree, seed=11)
+    return all(np.array_equal(host[t], ref_store[t]) for t in prog.tensors)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="single workload, assertions only")
+    args = parser.parse_args()
+    names = WORKLOADS[:1] if args.quick else WORKLOADS
+
+    results, rows, failed = [], [], []
+    for name in names:
+        r = bench_modeled(name)
+        r["parity"] = check_parity(name)
+        results.append(r)
+        singles = ", ".join(
+            f"{t}={'illegal' if s is None else f'{s * 1e6:.0f}us'}"
+            for t, s in sorted(r["single_seconds"].items())
+        )
+        rows.append([
+            name,
+            "+".join(r["targets_used"]),
+            f"{r['mixed_seconds'] * 1e6:.0f}us",
+            singles,
+            "yes" if r["beats_all_single"] else "NO",
+            "ok" if r["parity"] else "MISMATCH",
+        ])
+        if not r["beats_all_single"]:
+            failed.append(f"{name}: mixed does not beat every single target")
+        if not r["parity"]:
+            failed.append(f"{name}: multi-target execution diverged")
+
+    print_table(
+        "heterogeneous partitioning (modeled)",
+        ["workload", "targets", "mixed", "single-target", "beats all", "parity"],
+        rows,
+    )
+    save_results("partition", results)
+    for msg in failed:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from common import print_table, save_perf_snapshot, save_results
+from repro import CompileOptions
 from repro.presburger import BasicMap, Constraint, LinExpr, MapSpace, memo
 
 V = LinExpr.var
@@ -204,7 +205,7 @@ def run_promotion_sweep(
 ):
     """The promotion pass swept across targets and tile sizes, cold per
     target, reporting each target's aggregate memo hit rate."""
-    from repro.__main__ import _build_workload
+    from repro.api import get_workload
     from repro.codegen.promotion import promoted_buffers
     from repro.core import optimize
 
@@ -219,9 +220,9 @@ def run_promotion_sweep(
         n_buffers = 0
         t0 = time.perf_counter()
         for name in workloads:
-            prog = _build_workload(name, PROMOTION_SIZE)
+            prog = get_workload(name, PROMOTION_SIZE)
             for s in tile_sizes:
-                res = optimize(prog, target=target, tile_sizes=(s, s))
+                res = optimize(prog, CompileOptions(target=target, tile_sizes=(s, s)))
                 n_buffers += sum(
                     len(bufs) for bufs in promoted_buffers(res).values()
                 )

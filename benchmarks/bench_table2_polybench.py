@@ -12,6 +12,7 @@ threads with the 32x32 default tile sizes.  Shape expectations:
 """
 
 from common import cpu_time, fmt_ms, naive_work, print_table, save_results
+from repro import CompileOptions
 from repro.core import optimize
 from repro.machine import analyze_optimized, analyze_scheduled
 from repro.machine.cpu import CPUSpec, DEFAULT_CPU, program_time
@@ -62,7 +63,7 @@ def compute_table2():
         except SchedulerError:
             per_version[HYBRIDFUSE] = None  # the published segfault
 
-        ours = optimize(prog, target="cpu", tile_sizes=TILES)
+        ours = optimize(prog, CompileOptions(target="cpu", tile_sizes=TILES))
         owork = analyze_optimized(ours)
         per_version["ours"] = [cpu_time(owork, t) for t in THREADS]
 

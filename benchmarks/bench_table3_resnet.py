@@ -10,6 +10,7 @@ conv+bn ~1.7x, entire workload ~1.16x, our compile time below smartfuse's.
 import time
 
 from common import fmt_ms, print_table, save_results
+from repro import CompileOptions
 from repro.core import optimize
 from repro.machine import conv_bn_time, network_time
 from repro.pipelines import resnet
@@ -44,7 +45,7 @@ def compute_table3():
     compile_smart = time.perf_counter() - t0
     t0 = time.perf_counter()
     for _ in range(len(layers)):
-        res = optimize(pair, target="npu", tile_sizes=(8, 8))
+        res = optimize(pair, CompileOptions(target="npu", tile_sizes=(8, 8)))
         print_tree(res.tree, pair, style="openmp")
     compile_ours = time.perf_counter() - t0
 
@@ -97,7 +98,7 @@ def test_table3_resnet(benchmark):
 def test_operator_pair_fuses(benchmark):
     def run():
         pair = resnet.build_operator_pair(16, 16)
-        return optimize(pair, target="npu", tile_sizes=(4, 4))
+        return optimize(pair, CompileOptions(target="npu", tile_sizes=(4, 4)))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.fusion_summary() == [["Sconv0", "Sconv1", "Sbn"]]

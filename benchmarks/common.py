@@ -14,6 +14,7 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import CompileOptions
 from repro.baselines import (
     halide_result,
     naive_work,
@@ -57,12 +58,12 @@ def image_program(name: str, size: Optional[int] = None):
 
 
 def our_cpu_work(prog, tile_sizes) -> Tuple[ProgramWork, float]:
-    result = optimize(prog, target="cpu", tile_sizes=tile_sizes)
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=tile_sizes))
     return analyze_optimized(result), result.compile_seconds
 
 
 def our_gpu_work(prog, tile_sizes) -> Tuple[ProgramWork, float]:
-    result = optimize(prog, target="gpu", tile_sizes=tile_sizes)
+    result = optimize(prog, CompileOptions(target="gpu", tile_sizes=tile_sizes))
     return analyze_optimized(result), result.compile_seconds
 
 

@@ -14,6 +14,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import CompileOptions
 from repro.pipelines import unsharp_mask
 from repro.scheduler import autotune_tile_sizes
 
@@ -23,9 +24,7 @@ SIZE = 1024
 def main():
     prog = unsharp_mask.build(SIZE)
     print(f"auto-tuning {prog.name} at {SIZE}x{SIZE} (modeled 32-core CPU)...")
-    result = autotune_tile_sizes(
-        prog, target="cpu", threads=32, candidates=(8, 16, 32, 64, 128, 256, 512)
-    )
+    result = autotune_tile_sizes(prog, options=CompileOptions(target="cpu", mode="serial"), threads=32, candidates=(8, 16, 32, 64, 128, 256, 512))
     print(f"searched {len(result.evaluations)} tilings "
           f"in {result.tuning_seconds:.1f} s")
     print(f"best: {result.best_sizes} at {result.best_time * 1e3:.3f} ms")

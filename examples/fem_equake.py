@@ -17,6 +17,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro import CompileOptions
 from repro.baselines import scheduled_from_partition
 from repro.codegen import execute_naive, make_store, run_program
 from repro.core import optimize
@@ -28,14 +29,14 @@ def main():
     prog = equake.build(n=256)
     print(f"{prog.name}: {len(prog.statements)} statements, banded SpMV width {equake.BAND}")
 
-    result = optimize(prog, target="cpu", tile_sizes=None)
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=None))
     print(f"\nfusion found by the pass: {result.fusion_summary()}")
     print("(matches/extends the maxfuse grouping the paper reports, with no")
     print(" manual while-loop permutation required)")
 
     print("\npredicted times at 32 threads (modeled Xeon), n = 40000:")
     big = equake.build("train")
-    res_big = optimize(big, target="cpu", tile_sizes=None)
+    res_big = optimize(big, CompileOptions(target="cpu", tile_sizes=None))
     t_ours = cpu_time(analyze_optimized(res_big), 32)
     print(f"  {'ours':10s} {t_ours * 1e3:8.3f} ms")
     for heuristic, partition in equake.PARTITIONS.items():

@@ -16,6 +16,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store, promoted_buffers, run_program
 from repro.core import optimize
 from repro.machine import analyze_optimized, analyze_scheduled, cpu_time
@@ -30,7 +31,7 @@ def main():
     prog = harris.build(SIZE)
     print(f"{prog.name}: {len(prog.statements)} stages, image {SIZE}x{SIZE}")
 
-    result = optimize(prog, target="cpu", tile_sizes=TILES)
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=TILES))
     print(f"\nfusion clusters: {result.fusion_summary()}")
     print(f"compile time: {result.compile_seconds:.2f} s")
 
@@ -55,7 +56,7 @@ def main():
     small = harris.build(32)
     ref = make_store(small)
     execute_naive(small, ref)
-    res_small = optimize(small, target="cpu", tile_sizes=(8, 8))
+    res_small = optimize(small, CompileOptions(target="cpu", tile_sizes=(8, 8)))
     store, _ = run_program(small, res_small.tree)
     out = small.liveout[0]
     assert np.allclose(store[out], ref[out])

@@ -19,6 +19,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store, run_program
 from repro.core import optimize
 from repro.ir import ProgramBuilder
@@ -50,7 +51,7 @@ def build_disjoint_split(n: int = 32):
 def main():
     print("=== gemver: overlapping shared space (must NOT fuse) ===")
     prog = polybench.build_gemver(16)
-    result = optimize(prog, target="cpu", tile_sizes=(4, 4))
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
     print(f"fusion clusters: {result.fusion_summary()}")
     assert ["Sa"] in result.fusion_summary(), "A2's update stays un-fused"
 
@@ -63,7 +64,7 @@ def main():
 
     print("=== disjoint split: shared space fused into BOTH uses ===")
     split = build_disjoint_split(32)
-    result = optimize(split, target="cpu", tile_sizes=(8, 8))
+    result = optimize(split, CompileOptions(target="cpu", tile_sizes=(8, 8)))
     print(f"fusion clusters: {result.fusion_summary()}")
     summary = result.fusion_summary()
     assert ["Sop0"] not in summary, "op0 fused into its uses (Fig. 6b)"

@@ -14,6 +14,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store, run_program
 from repro.core import optimize
 from repro.machine import conv_bn_time, network_time
@@ -23,7 +24,7 @@ from repro.pipelines import resnet
 def main():
     print("=== lowering one conv+bn operator pair through the pass ===")
     pair = resnet.build_operator_pair(16, 16)
-    result = optimize(pair, target="npu", tile_sizes=(4, 4))
+    result = optimize(pair, CompileOptions(target="npu", tile_sizes=(4, 4)))
     print(f"fusion result: {result.fusion_summary()}")
     ref = make_store(pair)
     execute_naive(pair, ref)

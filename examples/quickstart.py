@@ -15,6 +15,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store, print_tree, run_program
 from repro.core import optimize
 from repro.pipelines import conv2d
@@ -32,7 +33,7 @@ def main():
     print(sched.tree.pretty())
 
     print("\n--- after post-tiling fusion (tile sizes 4x4) ---")
-    result = optimize(prog, target="cpu", tile_sizes=(4, 4))
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
     print(result.tree.pretty())
     print(f"\nfusion result: {result.fusion_summary()}")
     print(f"compile time: {result.compile_seconds * 1e3:.1f} ms")
@@ -41,7 +42,7 @@ def main():
     print(print_tree(result.tree, prog, style="openmp"))
 
     print("\n--- generated CUDA-flavoured code (gpu target) ---")
-    gpu = optimize(prog, target="gpu", tile_sizes=(4, 4))
+    gpu = optimize(prog, CompileOptions(target="gpu", tile_sizes=(4, 4)))
     print(print_tree(gpu.tree, prog, style="cuda"))
 
     print("\n--- executing both schedules ---")

@@ -8,16 +8,20 @@ for the tour.
 
 from .core import OptimizeResult, optimize
 from .ir import Program, ProgramBuilder, Tensor
-from .options import CompileOptions
+from .options import CompileOptions, PartitionOptions
+from .partition import PartitionedSchedule, partition_pipeline
 
 __version__ = "0.1.0"
 
 __all__ = [
     "CompileOptions",
     "OptimizeResult",
+    "PartitionOptions",
+    "PartitionedSchedule",
     "Program",
     "ProgramBuilder",
     "Tensor",
     "optimize",
+    "partition_pipeline",
     "__version__",
 ]

@@ -8,6 +8,10 @@ Subcommands:
 * ``code <workload>`` — print the generated OpenMP or CUDA code;
 * ``time <workload>`` — predicted execution times for our pass and the
   PPCG fusion heuristics on the modeled machines;
+* ``partition <workload> --targets cpu,gpu,npu`` — assign pipeline stages
+  across heterogeneous targets with the beam-search partitioner, compile
+  each partition for its target and print the assignment, cut edges and
+  modeled mixed-vs-single-target costs;
 * ``tune <workload>`` — tile-size auto-tuning against the machine model
   (``--jobs N`` fans candidates out over the batch-compile driver;
   ``--search pruned`` ranks the grid with the learned model and runs
@@ -35,7 +39,7 @@ Subcommands:
   ``$REPRO_CACHE_REMOTE`` or a ``tiered:<local>|<remote>`` cache spec;
 * ``serve`` — run the long-lived compile server (unix socket and/or TCP)
   that keeps caches warm and deduplicates identical in-flight requests;
-* ``client compile|tune|stats|health|shutdown`` — talk to a running
+* ``client compile|tune|partition|stats|health|shutdown`` — talk to a running
   server (``client stats --json`` emits the raw ``repro-metrics/1``
   snapshot).
 """
@@ -50,7 +54,7 @@ from .codegen import print_tree
 from .core import optimize
 from .machine import analyze_optimized, analyze_scheduled, cpu_time, gpu_time
 from .options import CompileOptions
-from .pipelines import IMAGE_PIPELINES, polybench
+from .pipelines import IMAGE_PIPELINES, mixed, polybench
 from .scheduler import HEURISTICS, SchedulerError, schedule_program
 from .workloads import UnknownWorkloadError, build_workload, default_tile_sizes
 
@@ -72,6 +76,7 @@ def cmd_list(_args) -> int:
     print("image pipelines: " + ", ".join(sorted(IMAGE_PIPELINES)))
     print("polybench:       " + ", ".join(sorted(polybench.BUILDERS)))
     print("other:           conv2d, conv_bn, equake")
+    print("mixed-target:    " + ", ".join(sorted(mixed.MIXED_BUILDERS)))
     return 0
 
 
@@ -263,6 +268,59 @@ def cmd_tune(args) -> int:
           f"({result.best_time * 1e3:.3f} ms modeled)")
     for sizes, t in result.top(5):
         print(f"  {str(sizes):14s} {t * 1e3:9.3f} ms")
+    return 0
+
+
+def _parse_targets(text):
+    targets = tuple(t.strip() for t in text.split(",") if t.strip())
+    bad = [t for t in targets if t not in ("cpu", "gpu", "npu")]
+    if bad or not targets:
+        raise SystemExit(
+            f"--targets must be a comma-separated subset of cpu,gpu,npu; "
+            f"got {text!r}"
+        )
+    return targets
+
+
+def cmd_partition(args) -> int:
+    from .options import PartitionOptions
+    from .partition import partition_pipeline
+    from .service import default_cache, instrument
+
+    prog = _build_workload(args.workload, args.size)
+    options = PartitionOptions(
+        targets=_parse_targets(args.targets),
+        tile_sizes=_default_tiles(args.workload),
+        cache=None if args.no_cache else default_cache(),
+    )
+    with instrument.collect() as report:
+        sched = partition_pipeline(prog, options=options)
+    mixed = sched.modeled["mixed"]
+    single = sched.modeled["single"]
+    print(f"workload:   {prog.name} ({len(prog.statements)} statements)")
+    print(f"targets:    {', '.join(options.target_names)}"
+          + (" (degenerate: one partition)" if sched.is_degenerate else ""))
+    print("assignment: "
+          + ", ".join(f"{s}:{t}" for s, t in sched.assignment.items()))
+    for part in sched.partitions:
+        tiles = part.result.tile_sizes
+        print(f"  {part.name} [{part.target}] "
+              f"{len(part.statements)} stmts, tiles {tiles}, "
+              f"{part.modeled_seconds * 1e6:9.1f} us   "
+              f"({', '.join(part.statements)})")
+    for cut in sched.cuts:
+        print(f"  cut {cut.tensor}: {cut.src}[{cut.src_target}] -> "
+              f"{cut.dst}[{cut.dst_target}], {cut.nbytes} bytes, "
+              f"{cut.seconds * 1e6:.1f} us")
+    print(f"modeled:    mixed {mixed['total_seconds'] * 1e6:.1f} us "
+          f"(compute {mixed['compute_seconds'] * 1e6:.1f} "
+          f"+ transfer {mixed['transfer_seconds'] * 1e6:.1f})")
+    for target, seconds in single.items():
+        text = "illegal" if seconds is None else f"{seconds * 1e6:.1f} us"
+        print(f"            single {target:4s} {text}")
+    if args.stats:
+        print()
+        print(report.format())
     return 0
 
 
@@ -518,6 +576,32 @@ def _client_tune(client, args) -> int:
     return 0
 
 
+def _client_partition(client, args) -> int:
+    out = client.partition(
+        args.workload,
+        size=args.size,
+        targets=_parse_targets(args.targets),
+        startup=args.startup,
+    )
+    mixed = out["modeled"]["mixed"]
+    print(f"workload:    {out['workload']}")
+    print(f"targets:     {', '.join(out['targets_used'])}"
+          + (" (degenerate)" if out.get("degenerate") else ""))
+    print("assignment:  "
+          + ", ".join(f"{s}:{t}" for s, t in out["assignment"].items()))
+    for part in out["partitions"]:
+        print(f"  {part['name']} [{part['target']}] "
+              f"{len(part['statements'])} stmts  {part['fingerprint'][:12]}")
+    print(f"cuts:        {len(out['cuts'])}")
+    print(f"modeled:     mixed {mixed['total_seconds'] * 1e6:.1f} us")
+    for target, seconds in out["modeled"]["single"].items():
+        text = "illegal" if seconds is None else f"{seconds * 1e6:.1f} us"
+        print(f"             single {target:4s} {text}")
+    print(f"server time: {out['compile_ms']:.1f} ms")
+    print(f"deduped:     {'yes' if out.get('deduped') else 'no'}")
+    return 0
+
+
 def _client_stats(client, args) -> int:
     import json
 
@@ -562,6 +646,7 @@ def cmd_client(args) -> int:
     handlers = {
         "compile": _client_compile,
         "tune": _client_tune,
+        "partition": _client_partition,
         "stats": _client_stats,
         "health": _client_health,
         "shutdown": _client_shutdown,
@@ -689,6 +774,26 @@ def main(argv=None) -> int:
     )
     diff_p.set_defaults(fn=cmd_stats)
 
+    part_p = sub.add_parser(
+        "partition",
+        help="assign pipeline stages across cpu/gpu/npu and compile each "
+        "partition for its target",
+    )
+    part_p.add_argument("workload")
+    part_p.add_argument("--size", type=int, default=None)
+    part_p.add_argument(
+        "--targets", default="cpu,gpu,npu",
+        help="comma-separated target set to partition over "
+        "(default cpu,gpu,npu)",
+    )
+    part_p.add_argument("--no-cache", action="store_true",
+                        help="compile partitions without the result cache")
+    part_p.add_argument(
+        "--stats", action="store_true",
+        help="print per-pass timings and counters for the partition compile",
+    )
+    part_p.set_defaults(fn=cmd_partition)
+
     serve_p = sub.add_parser(
         "serve", help="run the long-lived compile server"
     )
@@ -752,6 +857,12 @@ def main(argv=None) -> int:
         else:
             vp.add_argument("--threads", type=int, default=None)
             vp.add_argument("--candidates", type=int, nargs="+", default=None)
+    part_cp = client_sub.add_parser("partition")
+    part_cp.add_argument("workload")
+    part_cp.add_argument("--size", type=int, default=None)
+    part_cp.add_argument("--targets", default="cpu,gpu,npu",
+                         help="comma-separated target set (default cpu,gpu,npu)")
+    part_cp.add_argument("--startup", default="smartfuse")
     stats_cp = client_sub.add_parser("stats")
     stats_cp.add_argument(
         "--json", action="store_true",

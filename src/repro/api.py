@@ -12,8 +12,15 @@ reaching into submodules whose layout may shift between releases:
 from __future__ import annotations
 
 from .core import OptimizeResult, optimize
+from .core.tile_shapes import TARGETS, TargetSpec
 from .ir import Program, ProgramBuilder, Tensor
-from .options import CompileOptions
+from .machine.transfer import DEFAULT_TRANSFER, PCIE_TRANSFER, TransferSpec
+from .options import CompileOptions, PartitionOptions
+from .partition import (
+    PartitionedSchedule,
+    execute_partitioned,
+    partition_pipeline,
+)
 from .scheduler.autotune import TuneResult, autotune_tile_sizes
 from .service.cache import CompileCache, default_cache, resolve_cache
 from .service.driver import (
@@ -22,21 +29,34 @@ from .service.driver import (
     cached_optimize,
     compile_batch,
 )
+from .workloads import default_tile_sizes, get_workload, workload_names
 
 __all__ = [
     "CompileCache",
     "CompileOptions",
     "CompileOutcome",
     "CompileRequest",
+    "DEFAULT_TRANSFER",
     "OptimizeResult",
+    "PCIE_TRANSFER",
+    "PartitionOptions",
+    "PartitionedSchedule",
     "Program",
     "ProgramBuilder",
+    "TARGETS",
+    "TargetSpec",
     "Tensor",
+    "TransferSpec",
     "TuneResult",
     "autotune_tile_sizes",
     "cached_optimize",
     "compile_batch",
     "default_cache",
+    "default_tile_sizes",
+    "execute_partitioned",
+    "get_workload",
     "optimize",
+    "partition_pipeline",
     "resolve_cache",
+    "workload_names",
 ]

@@ -18,10 +18,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..ir import Program
-from ..options import _UNSET
 from ..schedule import DomainNode
 from ..scheduler import (
     SMARTFUSE,
@@ -32,7 +31,7 @@ from ..scheduler import (
 from ..service import instrument
 from .compose import composite_tiling_fusion
 from .post_fusion import apply_mixed_schedules
-from .tile_shapes import MixedSchedules, TARGETS, TargetSpec
+from .tile_shapes import MixedSchedules, TargetSpec
 
 
 @dataclass
@@ -68,35 +67,26 @@ class OptimizeResult:
 
 def optimize(
     program: Program,
-    target: "str | TargetSpec | CompileOptions" = _UNSET,
-    tile_sizes: Optional[Sequence[int]] = _UNSET,
-    startup: str = _UNSET,
     options: "Optional[CompileOptions]" = None,
+    **removed,
 ) -> OptimizeResult:
     """Run the paper's pass on ``program``.
 
-    Accepts a :class:`repro.CompileOptions` — either as ``options=`` or
-    positionally in place of ``target`` — or the legacy ``target``/
-    ``tile_sizes``/``startup`` keywords, which are normalized through the
-    same ``CompileOptions`` validation path.  Passing any legacy keyword
-    — even at its default value (``target="cpu"``, ``tile_sizes=None``,
-    ``startup="smartfuse"``) — together with options is rejected.
+    All configuration travels in one :class:`repro.CompileOptions` —
+    passed positionally or as ``options=``; ``None`` compiles with the
+    defaults (cpu target, smartfuse start-up, unit tiles).  The retired
+    per-keyword spellings (``target=``/``tile_sizes=``/``startup=``)
+    raise a ``TypeError`` pointing here.
 
-    ``tile_sizes`` applies to the live-out computation spaces only — the
-    pass derives every other space's tile shape from the upwards-exposed
-    data, which is the point of the paper.  ``target`` selects how much
-    parallelism must be preserved ("cpu": 1 dim, "gpu": 2 dims, "npu").
+    ``options.tile_sizes`` applies to the live-out computation spaces
+    only — the pass derives every other space's tile shape from the
+    upwards-exposed data, which is the point of the paper.
+    ``options.target`` selects how much parallelism must be preserved
+    ("cpu": 1 dim, "gpu": 2 dims, "npu").
     """
-    from ..options import CompileOptions, resolve_options
+    from ..options import resolve_options
 
-    if isinstance(target, CompileOptions):
-        if options is not None:
-            raise TypeError("options passed both positionally and by keyword")
-        options = target
-        target = _UNSET
-    opts = resolve_options(
-        options, target=target, tile_sizes=tile_sizes, startup=startup
-    )
+    opts = resolve_options(options, "optimize", **removed)
     spec = opts.target
     t0 = time.perf_counter()
     with instrument.span(

@@ -1,0 +1,60 @@
+"""One cost interface over the three machine models.
+
+The CPU, GPU and NPU models each expose ``cluster_time``/``program_time``
+with target-specific signatures (the CPU model wants a thread count).
+The heterogeneous partitioner needs to price the *same*
+:class:`~repro.machine.cost.ClusterWork` on every target, so this module
+provides the uniform spelling:
+
+    program_cost(work, "npu")          # seconds on the NPU model
+    cluster_cost(cluster, "cpu", 16)   # one cluster, 16 threads
+
+``target`` accepts a target name or a
+:class:`~repro.core.tile_shapes.TargetSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from . import cpu as _cpu
+from . import gpu as _gpu
+from . import npu as _npu
+from .cost import ClusterWork, ProgramWork
+
+#: Names the dispatch accepts, in canonical order.
+COST_TARGETS = ("cpu", "gpu", "npu")
+
+
+def _target_name(target: Union[str, object]) -> str:
+    name = target if isinstance(target, str) else getattr(target, "name", None)
+    if name not in COST_TARGETS:
+        raise ValueError(
+            f"unknown cost-model target {target!r}; "
+            f"choose from {COST_TARGETS}"
+        )
+    return name
+
+
+def cluster_cost(
+    work: ClusterWork, target: Union[str, object], threads: int = 32
+) -> float:
+    """Modeled seconds of one fusion cluster on ``target``."""
+    name = _target_name(target)
+    if name == "cpu":
+        return _cpu.cluster_time(work, threads)
+    if name == "gpu":
+        return _gpu.cluster_time(work)
+    return _npu.cluster_time(work)
+
+
+def program_cost(
+    work: ProgramWork, target: Union[str, object], threads: int = 32
+) -> float:
+    """Modeled seconds of a whole analyzed schedule on ``target``."""
+    name = _target_name(target)
+    if name == "cpu":
+        return _cpu.program_time(work, threads)
+    if name == "gpu":
+        return _gpu.program_time(work)
+    return _npu.program_time(work)

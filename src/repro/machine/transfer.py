@@ -1,0 +1,80 @@
+"""Inter-target transfer-cost model for heterogeneous partitioning.
+
+When a pipeline is split across targets, every tensor region that crosses
+a partition boundary rides an interconnect link: host DDR to the GPU's
+global memory, host to the NPU's HBM, or device to device.  The
+partitioner prices each cut edge as
+
+    latency + bytes / bandwidth
+
+where ``bytes`` is the *exact* Presburger count of the upwards-exposed
+region of the tensor at the cut (not the whole tensor), times the element
+size.  The defaults model an NVLink/CXL-class coherent interconnect; the
+classic PCIe-gen3 numbers are provided as an alternative spec for
+experiments on transfer sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One bidirectional link between two memory spaces."""
+
+    bandwidth_gbs: float
+    latency_s: float
+
+    def seconds(self, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+def _links(
+    bw: float, lat: float, names: Tuple[str, ...] = ("cpu", "gpu", "npu")
+) -> Dict[FrozenSet[str], LinkSpec]:
+    out: Dict[FrozenSet[str], LinkSpec] = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            out[frozenset((a, b))] = LinkSpec(bandwidth_gbs=bw, latency_s=lat)
+    return out
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """All pairwise links of the machine, keyed by unordered target pair."""
+
+    name: str = "nvlink-class"
+    links: Dict[FrozenSet[str], LinkSpec] = field(
+        default_factory=lambda: _links(64.0, 5e-6)
+    )
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        key = frozenset((src, dst))
+        try:
+            return self.links[key]
+        except KeyError:
+            raise ValueError(
+                f"no link between targets {src!r} and {dst!r} "
+                f"in transfer spec {self.name!r}"
+            ) from None
+
+
+#: Coherent accelerator fabric (NVLink / CXL class): the default the
+#: partitioner prices cuts with.
+DEFAULT_TRANSFER = TransferSpec()
+
+#: The conservative alternative: staging over PCIe gen3.
+PCIE_TRANSFER = TransferSpec(name="pcie-gen3", links=_links(12.0, 15e-6))
+
+
+def transfer_time(
+    src: str, dst: str, nbytes: float, spec: TransferSpec = DEFAULT_TRANSFER
+) -> float:
+    """Seconds to move ``nbytes`` from ``src``'s memory to ``dst``'s."""
+    if src == dst:
+        return 0.0
+    return spec.link(src, dst).seconds(nbytes)

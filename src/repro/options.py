@@ -1,14 +1,19 @@
-"""CompileOptions: one validated bundle for every compile entry point.
+"""The options layer: one validated bundle per entry-point family.
 
 ``optimize``, ``cached_optimize``, ``compile_batch`` and
 ``autotune_tile_sizes`` historically each grew their own ``target=`` /
 ``tile_sizes=`` / ``mode=`` keyword spellings with slightly different
-validation (or none).  :class:`CompileOptions` is the single normalization
+validation (or none).  :class:`CompileOptions` is the single configuration
 path: construct it once, pass it everywhere, and every entry point sees the
 same resolved :class:`~repro.core.tile_shapes.TargetSpec`, coerced tile-size
-tuple and checked dispatch mode.  The legacy keywords remain as thin shims
-that build a ``CompileOptions`` internally, so existing callers keep
-working unchanged.
+tuple and checked dispatch mode.  The per-keyword spellings are gone; a
+caller that still passes one gets a ``TypeError`` naming the removed
+keyword and pointing at ``CompileOptions``.
+
+:class:`PartitionOptions` is the analogous bundle for the heterogeneous
+partitioner (:func:`repro.partition.partition_pipeline`): an ordered set
+of candidate targets plus the per-partition compile knobs and the
+transfer-cost model used to price cut edges.
 """
 
 from __future__ import annotations
@@ -100,32 +105,134 @@ class CompileOptions:
         return dataclasses.replace(self, **changes)
 
 
-def resolve_options(
-    options: Optional[CompileOptions] = None,
-    **legacy,
-) -> CompileOptions:
-    """The one legacy-keyword funnel shared by every entry point.
+@dataclass(frozen=True)
+class PartitionOptions:
+    """Validated, immutable knobs for the heterogeneous partitioner.
 
-    With ``options`` given, any explicitly-passed legacy keyword is an
-    error — mixing the two spellings silently prefers one and has bitten
-    every API that allowed it.  Without ``options``, the legacy keywords
-    (minus ``None`` placeholders for defaulted fields) build one.
+    ``targets`` is the ordered set of candidate targets the beam search
+    may assign stages to — names or
+    :class:`~repro.core.tile_shapes.TargetSpec`\\ s, normalized to specs
+    with duplicates dropped.  ``tile_sizes``/``startup``/``cache`` are the
+    per-partition compile knobs (each partition compiles through the
+    standard :func:`~repro.core.optimize` path with exactly these values,
+    which is what makes the single-target case bit-identical to a plain
+    compile).  ``threads`` feeds the CPU cost model, ``beam_width`` bounds
+    the assignment search, and ``transfer`` is the
+    :class:`~repro.machine.transfer.TransferSpec` pricing cut edges
+    (``None`` selects the default interconnect model).
     """
-    supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if options is not None:
-        if supplied:
-            raise TypeError(
-                "pass either options= or legacy keywords, not both: "
-                f"{sorted(supplied)}"
+
+    targets: Sequence[Union[str, object]] = ("cpu", "gpu", "npu")
+    tile_sizes: Optional[Sequence[int]] = None
+    startup: str = "smartfuse"
+    threads: int = 32
+    beam_width: int = 8
+    transfer: Optional[object] = None
+    cache: Optional[object] = None
+
+    def __post_init__(self):
+        from .core.tile_shapes import TARGETS, TargetSpec
+        from .machine.transfer import DEFAULT_TRANSFER, TransferSpec
+        from .scheduler import HEURISTICS
+
+        if isinstance(self.targets, (str, TargetSpec)):
+            targets = (self.targets,)
+        else:
+            targets = tuple(self.targets)
+        specs = []
+        for t in targets:
+            if isinstance(t, str):
+                if t not in TARGETS:
+                    raise ValueError(
+                        f"unknown target {t!r}; choose from {tuple(TARGETS)}"
+                    )
+                t = TARGETS[t]
+            elif not isinstance(t, TargetSpec):
+                raise TypeError(
+                    f"targets must be target names or TargetSpecs, got {t!r}"
+                )
+            if t not in specs:
+                specs.append(t)
+        if not specs:
+            raise ValueError("targets must name at least one target")
+        object.__setattr__(self, "targets", tuple(specs))
+
+        if self.tile_sizes is not None:
+            sizes = tuple(int(s) for s in self.tile_sizes)
+            if not sizes or any(s <= 0 for s in sizes):
+                raise ValueError(
+                    f"tile_sizes must be positive ints, got {self.tile_sizes!r}"
+                )
+            object.__setattr__(self, "tile_sizes", sizes)
+
+        if self.startup not in HEURISTICS:
+            raise ValueError(
+                f"unknown startup heuristic {self.startup!r}; "
+                f"choose from {HEURISTICS}"
             )
-        return options
-    return CompileOptions(**supplied)
+        threads = int(self.threads)
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads!r}")
+        object.__setattr__(self, "threads", threads)
+        beam = int(self.beam_width)
+        if beam < 1:
+            raise ValueError(f"beam_width must be >= 1, got {self.beam_width!r}")
+        object.__setattr__(self, "beam_width", beam)
+
+        transfer = self.transfer if self.transfer is not None else DEFAULT_TRANSFER
+        if not isinstance(transfer, TransferSpec):
+            raise TypeError(
+                f"transfer must be a TransferSpec or None, got {self.transfer!r}"
+            )
+        object.__setattr__(self, "transfer", transfer)
+
+        if isinstance(self.cache, (str, os.PathLike, Mapping)):
+            from .service.cache import resolve_cache
+
+            object.__setattr__(self, "cache", resolve_cache(self.cache))
+
+    @property
+    def target_names(self) -> Tuple[str, ...]:
+        return tuple(t.name for t in self.targets)
+
+    def compile_options(self, target) -> CompileOptions:
+        """The :class:`CompileOptions` one partition compiles with."""
+        return CompileOptions(
+            target=target,
+            tile_sizes=self.tile_sizes,
+            startup=self.startup,
+            cache=self.cache,
+        )
+
+    def replace(self, **changes) -> "PartitionOptions":
+        """A copy with the given fields changed (and re-validated)."""
+        return dataclasses.replace(self, **changes)
 
 
-class _Unset:
-    def __repr__(self) -> str:  # pragma: no cover
-        return "<unset>"
+def resolve_options(
+    options: Optional[CompileOptions],
+    entry: str = "this entry point",
+    **removed,
+) -> CompileOptions:
+    """Normalize one entry point's ``options=`` argument.
 
-
-#: Sentinel distinguishing "keyword not passed" from an explicit ``None``.
-_UNSET = _Unset()
+    ``options`` must be a :class:`CompileOptions` or ``None`` (the
+    defaults).  Entry points forward any unexpected keyword here as
+    ``**removed`` so callers of the retired per-keyword configuration get
+    a pointed migration error instead of a bare ``unexpected keyword``.
+    """
+    if removed:
+        names = ", ".join(sorted(removed))
+        raise TypeError(
+            f"{entry}() no longer accepts per-keyword configuration "
+            f"({names}); construct repro.CompileOptions(...) and pass it "
+            f"as options="
+        )
+    if options is None:
+        return CompileOptions()
+    if not isinstance(options, CompileOptions):
+        raise TypeError(
+            f"options must be a repro.CompileOptions or None, "
+            f"got {options!r}"
+        )
+    return options

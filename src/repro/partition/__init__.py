@@ -1,0 +1,18 @@
+"""``repro.partition`` — heterogeneous cpu/gpu/npu pipeline partitioning."""
+
+from .host import TransferRecord, execute_partitioned
+from .partitioner import (
+    CutEdge,
+    Partition,
+    PartitionedSchedule,
+    partition_pipeline,
+)
+
+__all__ = [
+    "CutEdge",
+    "Partition",
+    "PartitionedSchedule",
+    "TransferRecord",
+    "execute_partitioned",
+    "partition_pipeline",
+]

@@ -1,0 +1,86 @@
+"""Host glue: execute a :class:`~repro.partition.PartitionedSchedule`.
+
+The interpreter backend plays all three machines.  The host owns one
+store with the pipeline's deterministic initial contents (the same
+:func:`~repro.codegen.interp.make_store` a single-target run uses — built
+from the *original* program, so input seeding order is identical); each
+partition gets a private device store, the host stages the referenced
+tensors in, runs the partition's compiled tree, and stages the written
+tensors back.  Because every stage-in copies the host's current value and
+every stage-out copies the device's result verbatim, the final host store
+is bit-identical to a single-store run of the same trees — which the
+parity tests pin against the single-target reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..codegen.interp import execute_tree, make_store
+from ..ir.tensor import TensorStore
+from .partitioner import PartitionedSchedule
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One staged host<->device copy performed by the glue."""
+
+    tensor: str
+    src: str     # "host" or a partition name
+    dst: str
+    nbytes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tensor": self.tensor,
+            "src": self.src,
+            "dst": self.dst,
+            "bytes": self.nbytes,
+        }
+
+
+def execute_partitioned(
+    sched: PartitionedSchedule,
+    params: Optional[Mapping[str, int]] = None,
+    seed: int = 0,
+) -> Tuple[TensorStore, Dict[str, int], List[TransferRecord]]:
+    """Run every partition in order through the interpreter.
+
+    Returns ``(host_store, per-statement instance counts, staged copies)``.
+    The host store's final contents are bit-identical to
+    :func:`~repro.codegen.interp.run_program` on a single-target compile
+    of the same pipeline with the same ``seed``.
+    """
+    program = sched.program
+    params = dict(program.params, **(params or {}))
+    host = make_store(program, params, seed)
+    staged: List[TransferRecord] = []
+
+    if sched.is_degenerate:
+        part = sched.partitions[0]
+        counts = execute_tree(part.result.tree, part.program, host, params)
+        return host, counts, staged
+
+    counts: Dict[str, int] = {}
+    for part in sched.partitions:
+        device = TensorStore(part.program.tensors, params)
+        for tensor in part.program.tensors:
+            array = host[tensor]
+            device.set_input(tensor, array)
+            staged.append(
+                TransferRecord(tensor, "host", part.name, array.nbytes)
+            )
+        part_counts = execute_tree(part.result.tree, part.program, device, params)
+        for name, n in part_counts.items():
+            counts[name] = counts.get(name, 0) + n
+        written = {
+            program.statement(s).tensor_written() for s in part.statements
+        }
+        for tensor in sorted(written):
+            array = device[tensor]
+            host.set_input(tensor, array)
+            staged.append(
+                TransferRecord(tensor, part.name, "host", array.nbytes)
+            )
+    return host, counts, staged

@@ -4,7 +4,8 @@ Image processing (PolyMage benchmarks, Table I): bilateral_grid,
 camera_pipeline, harris, local_laplacian, multiscale_interp, unsharp_mask.
 Finite elements (SPEC CPU2000): equake.  Linear algebra / data mining
 (PolyBench, Table II): polybench.  Neural networks (Table III): resnet and
-the conv2d running example of Fig. 1.
+the conv2d running example of Fig. 1.  Heterogeneous scenarios for the
+cpu/gpu/npu partitioner: mixed (camera_resnet, edge_infer).
 """
 
 from . import (
@@ -14,6 +15,7 @@ from . import (
     equake,
     harris,
     local_laplacian,
+    mixed,
     multiscale_interp,
     polybench,
     resnet,
@@ -37,6 +39,7 @@ __all__ = [
     "equake",
     "harris",
     "local_laplacian",
+    "mixed",
     "multiscale_interp",
     "polybench",
     "resnet",

@@ -31,7 +31,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir import Program
-from ..options import _UNSET
 
 CANDIDATE_SIZES = (8, 16, 32, 64, 128, 256, 512)
 
@@ -88,19 +87,17 @@ def default_top_k(n_candidates: int) -> int:
 
 def autotune_tile_sizes(
     program: Program,
-    target=_UNSET,
+    options=None,
+    *,
     threads: int = 32,
     candidates: Sequence[int] = CANDIDATE_SIZES,
     dims: int = 2,
     max_extent: Optional[int] = None,
-    mode=_UNSET,
-    jobs=_UNSET,
-    cache=_UNSET,
-    options=None,
     search: str = "exhaustive",
     model=None,
     top_k: Optional[int] = None,
     collect=None,
+    **removed,
 ) -> TuneResult:
     """Search live-out tile sizes against the cost model.
 
@@ -133,9 +130,14 @@ def autotune_tile_sizes(
     A :class:`repro.CompileOptions` supplies ``target``/``startup``/
     ``mode``/``jobs``/``cache`` in one validated bundle (its
     ``tile_sizes`` field is ignored — tile sizes are what is being
-    searched).  Legacy keywords funnel through the same validation;
-    passing any of them — even at its default value — together with
-    ``options`` is rejected.
+    searched).  ``None`` tunes for the cpu target with serial dispatch —
+    a sweep's requests are tiny and fork cost dominates, so the
+    no-options default stays ``"serial"`` rather than ``CompileOptions``'
+    ``"auto"``.  The tuner-specific knobs (``threads``, ``candidates``,
+    ``dims``, ``max_extent``, ``search``, ``model``, ``top_k``,
+    ``collect``) remain keyword arguments here: they configure the
+    search, not the compiles.  The retired per-keyword compile spellings
+    raise a ``TypeError`` pointing at ``CompileOptions``.
     """
     from ..data import resolve_dataset
     from ..options import resolve_options
@@ -146,12 +148,8 @@ def autotune_tile_sizes(
             f"unknown search mode {search!r}; expected one of {SEARCH_MODES}"
         )
 
-    opts = resolve_options(
-        options, target=target, mode=mode, jobs=jobs, cache=cache
-    )
-    if options is None and mode is _UNSET:
-        # The historical autotune default is "serial", not CompileOptions'
-        # "auto" — a sweep's requests are tiny and fork cost dominates.
+    opts = resolve_options(options, "autotune_tile_sizes", **removed)
+    if options is None:
         opts = opts.replace(mode="serial")
     spec = opts.target
 

@@ -137,6 +137,20 @@ class ServeClient:
             params["dims"] = dims
         return self.call("autotune", params)
 
+    def partition(
+        self,
+        workload: str,
+        size: Optional[int] = None,
+        targets=None,
+        startup: str = "smartfuse",
+    ) -> dict:
+        params = {"workload": workload, "startup": startup}
+        if size is not None:
+            params["size"] = size
+        if targets is not None:
+            params["targets"] = list(targets)
+        return self.call("partition", params)
+
     def stats(self) -> dict:
         return self.call("stats")
 

@@ -34,7 +34,7 @@ from typing import Dict, List, Mapping, Optional, Union
 PROTOCOL = "repro-serve/1"
 
 #: Methods the server accepts.
-METHODS = ("compile", "autotune", "stats", "health", "shutdown")
+METHODS = ("compile", "autotune", "partition", "stats", "health", "shutdown")
 
 #: Structured error codes a response may carry.
 ERROR_CODES = (
@@ -42,6 +42,7 @@ ERROR_CODES = (
     "unknown-method",   # method not in METHODS
     "compile-error",    # the compile itself failed (infeasible tiling...)
     "autotune-error",   # no feasible candidate, bad grid
+    "partition-error",  # no legal multi-target assignment, bad targets
     "timeout",          # per-request timeout expired server-side
     "overloaded",       # per-client concurrency limit exceeded
     "draining",         # server is shutting down, not accepting work
@@ -160,7 +161,7 @@ def validate_params(method: str, params: Mapping) -> List[str]:
         if not isinstance(v, int) or isinstance(v, bool) or v < minimum:
             errors.append(f"{key} must be an int >= {minimum}, got {v!r}")
 
-    if method in ("compile", "autotune"):
+    if method in ("compile", "autotune", "partition"):
         workload = params.get("workload")
         if not isinstance(workload, str) or not workload:
             errors.append(f"workload must be a non-empty string, got {workload!r}")
@@ -184,6 +185,17 @@ def validate_params(method: str, params: Mapping) -> List[str]:
             errors.append(
                 f"tile_sizes must be a non-empty array of positive ints, "
                 f"got {tiles!r}"
+            )
+    if method == "partition":
+        targets = params.get("targets")
+        if targets is not None and (
+            not isinstance(targets, (list, tuple))
+            or not targets
+            or any(t not in _TARGETS for t in targets)
+        ):
+            errors.append(
+                f"targets must be a non-empty array drawn from {_TARGETS}, "
+                f"got {targets!r}"
             )
     if method == "autotune":
         candidates = params.get("candidates")

@@ -118,7 +118,10 @@ class CompileServer:
     tests: synchronous callables run on the worker pool, taking the
     normalized params dict and returning ``(summary_dict, report|None)``."""
 
-    def __init__(self, config: ServeConfig, compile_fn=None, autotune_fn=None):
+    def __init__(
+        self, config: ServeConfig, compile_fn=None, autotune_fn=None,
+        partition_fn=None,
+    ):
         self.config = config
         if config.cache is None:
             self.cache = None
@@ -129,6 +132,7 @@ class CompileServer:
         self.registry = MetricsRegistry()
         self._compile_fn = compile_fn or self._compile_workload
         self._autotune_fn = autotune_fn or self._autotune_workload
+        self._partition_fn = partition_fn or self._partition_workload
         self._flight = SingleFlight()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._servers = []
@@ -354,6 +358,8 @@ class CompileServer:
         try:
             if method == "compile":
                 return await self._rpc_compile(params)
+            if method == "partition":
+                return await self._rpc_partition(params)
             return await self._rpc_autotune(params)
         finally:
             client["inflight"] -= 1
@@ -416,6 +422,27 @@ class CompileServer:
         summary = await self._await_flight(task)
         if summary.get("error"):
             raise RequestError("autotune-error", summary["error"])
+        result = dict(summary)
+        result["deduped"] = not leader
+        return result
+
+    async def _rpc_partition(self, params: dict) -> dict:
+        norm = self._normalize_compile({**params, "tile_sizes": None})
+        norm.pop("tile_sizes")
+        norm.pop("target", None)
+        targets = params.get("targets")
+        norm["targets"] = (
+            list(targets) if targets is not None else ["cpu", "gpu", "npu"]
+        )
+        key = "partition:" + json.dumps(norm, sort_keys=True)
+        task, leader = self._flight.task(
+            key, lambda: self._lead(norm, self._partition_fn)
+        )
+        if not leader:
+            self.registry.inc("serve.dedup_hits")
+        summary = await self._await_flight(task)
+        if summary.get("error"):
+            raise RequestError("partition-error", summary["error"])
         result = dict(summary)
         result["deduped"] = not leader
         return result
@@ -539,6 +566,50 @@ class CompileServer:
                 else None
             )
             summary["fusion"] = outcome.result.fusion_summary()
+        return summary, report
+
+    def _partition_workload(self, norm: dict):
+        """Multi-target partitioning for one normalized request.
+
+        Runs on a worker thread; every partition compiles through
+        ``cached_optimize`` against the shared cache, so repeated
+        partitions of the same pipeline are warm."""
+        from ..options import PartitionOptions
+        from ..partition import partition_pipeline
+        from ..service import instrument
+        from ..workloads import build_workload
+
+        t0 = perf_counter()
+        with instrument.collect() as report:
+            program = build_workload(norm["workload"], norm["size"])
+            try:
+                sched = partition_pipeline(
+                    program,
+                    options=PartitionOptions(
+                        targets=tuple(norm["targets"]),
+                        startup=norm["startup"],
+                        cache=self.cache,
+                    ),
+                )
+            except Exception as exc:
+                summary = {
+                    "workload": norm["workload"],
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "compile_ms": (perf_counter() - t0) * 1e3,
+                }
+                return summary, report
+        summary = dict(sched.summary())
+        summary.update(
+            {
+                "workload": norm["workload"],
+                "size": norm["size"],
+                "targets_used": list(sched.targets_used),
+                "degenerate": sched.is_degenerate,
+                "from_cache": False,
+                "compile_ms": (perf_counter() - t0) * 1e3,
+                "error": None,
+            }
+        )
         return summary, report
 
     def _autotune_workload(self, norm: dict):

@@ -30,7 +30,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir import Program
-from ..options import _UNSET
 from . import instrument
 from .cache import CompileCache
 from .fingerprint import fingerprint_program, fingerprint_request
@@ -158,13 +157,16 @@ def _run_request(request: CompileRequest) -> Tuple[Optional[object], Optional[st
     """Compile one request in-process; error strings match the serial
     autotuner's ``f"{type}: {exc}"`` format exactly."""
     from ..core import optimize
+    from ..options import CompileOptions
 
     try:
         result = optimize(
             request.program,
-            target=request.target,
-            tile_sizes=request.tile_sizes,
-            startup=request.startup,
+            CompileOptions(
+                target=request.target,
+                tile_sizes=request.tile_sizes,
+                startup=request.startup,
+            ),
         )
     except Exception as exc:
         return None, f"{type(exc).__name__}: {exc}"
@@ -354,22 +356,20 @@ def _dispatch(
 
 def compile_batch(
     requests: Sequence[CompileRequest],
-    mode: str = _UNSET,
-    max_workers: Optional[int] = _UNSET,
-    cache: Optional[CompileCache] = _UNSET,
     options=None,
+    **removed,
 ) -> List[CompileOutcome]:
     """Compile many requests; one outcome per request, same order.
 
     Identical fingerprints are compiled once and the result fanned back
-    out.  With a ``cache``, warm fingerprints skip compilation entirely
+    out.  With a cache, warm fingerprints skip compilation entirely
     and fresh results are stored for the next batch (or process).
 
-    A :class:`repro.CompileOptions` supplies ``mode``/``jobs``/``cache``
-    in one validated bundle; the legacy keywords funnel through the same
-    validation.  Passing a legacy keyword — even at its default value
-    (``mode="auto"``, ``max_workers=None``, ``cache=None``) — together
-    with ``options`` is rejected.
+    A :class:`repro.CompileOptions` supplies the driver knobs —
+    ``mode``/``jobs``/``cache`` — in one validated bundle (``None`` uses
+    the defaults: auto dispatch, cpu-count workers, no cache).  The
+    retired per-keyword spellings raise a ``TypeError`` pointing at
+    ``CompileOptions``.
 
     When ambient dataset collection is on (``$REPRO_DATASET``), each
     successful explicitly-tiled request also appends one candidate record
@@ -378,9 +378,7 @@ def compile_batch(
     """
     from ..options import resolve_options
 
-    opts = resolve_options(
-        options, mode=mode, jobs=max_workers, cache=cache
-    )
+    opts = resolve_options(options, "compile_batch", **removed)
     mode, max_workers, cache = opts.mode, opts.jobs, opts.cache
     with instrument.span("compile_batch", mode=mode, requests=len(requests)):
         outcomes: List[CompileOutcome] = [
@@ -497,32 +495,22 @@ def _collect_batch_records(outcomes: Sequence[CompileOutcome]) -> None:
 
 def cached_optimize(
     program: Program,
-    target: Union[str, object] = _UNSET,
-    tile_sizes: Optional[Sequence[int]] = _UNSET,
-    startup: str = _UNSET,
-    cache: Optional[CompileCache] = _UNSET,
     options=None,
+    **removed,
 ):
     """Memoized :func:`repro.core.optimize`.
 
     Uses the process-wide default cache when none is given; raises
-    exactly what ``optimize`` would raise on failure.  Accepts a
+    exactly what ``optimize`` would raise on failure.  Configuration is a
     :class:`repro.CompileOptions` (``target``/``tile_sizes``/``startup``/
-    ``cache``) or the legacy keywords, normalized the same way; mixing
-    ``options`` with any explicitly-passed legacy keyword — default
-    values included — is rejected.
+    ``cache``), passed positionally or as ``options=``; the retired
+    per-keyword spellings raise a ``TypeError`` pointing there.
     """
     from ..core import optimize
     from ..options import resolve_options
     from .cache import default_cache
 
-    opts = resolve_options(
-        options,
-        target=target,
-        tile_sizes=tile_sizes,
-        startup=startup,
-        cache=cache,
-    )
+    opts = resolve_options(options, "cached_optimize", **removed)
     cache = opts.cache if opts.cache is not None else default_cache()
     key = fingerprint_request(program, opts.target, opts.tile_sizes, opts.startup)
     result = cache.get(key)

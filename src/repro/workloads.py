@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from .pipelines import IMAGE_PIPELINES, conv2d, equake, polybench, resnet
+from .pipelines import IMAGE_PIPELINES, conv2d, equake, mixed, polybench, resnet
 
 
 class UnknownWorkloadError(ValueError):
@@ -25,6 +25,7 @@ def workload_names() -> List[str]:
     return sorted(
         set(IMAGE_PIPELINES)
         | set(polybench.BUILDERS)
+        | set(mixed.MIXED_BUILDERS)
         | {"conv2d", "conv_bn", "equake"}
     )
 
@@ -33,6 +34,7 @@ def is_workload(name: str) -> bool:
     return (
         name in IMAGE_PIPELINES
         or name in polybench.BUILDERS
+        or name in mixed.MIXED_BUILDERS
         or name in ("conv2d", "conv_bn", "equake")
     )
 
@@ -53,6 +55,8 @@ def build_workload(name: str, size: Optional[int] = None):
         return resnet.build_operator_pair(s, s)
     if name == "equake":
         return equake.build(n=size or 8000)
+    if name in mixed.MIXED_BUILDERS:
+        return mixed.MIXED_BUILDERS[name](size or 512)
     if name in polybench.BUILDERS:
         return polybench.BUILDERS[name](size or 256)
     raise UnknownWorkloadError(
@@ -65,6 +69,17 @@ def default_tile_sizes(name: str) -> Optional[Tuple[int, ...]]:
     """The tile sizes a workload is compiled with when none are given."""
     if name in IMAGE_PIPELINES:
         return IMAGE_PIPELINES[name].TILE_SIZES
+    if name in mixed.MIXED_BUILDERS:
+        return mixed.TILE_SIZES
     if name == "equake":
         return None
     return (32, 32)
+
+
+def get_workload(name: str, size: Optional[int] = None):
+    """Canonical name-to-program lookup (alias of :func:`build_workload`).
+
+    This is the spelling ``repro.api`` re-exports; benchmarks, the CLI
+    and the compile server all resolve workload names through it.
+    """
+    return build_workload(name, size)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.core import optimize
 from repro.machine import analyze_optimized, cpu_time
 from repro.pipelines import unsharp_mask
@@ -21,9 +22,7 @@ class TestAutotune:
     @pytest.fixture(scope="class")
     def tuned(self):
         prog = unsharp_mask.build(256)
-        return prog, autotune_tile_sizes(
-            prog, target="cpu", threads=32, candidates=(8, 32, 128)
-        )
+        return prog, autotune_tile_sizes(prog, options=CompileOptions(target="cpu", mode="serial"), threads=32, candidates=(8, 32, 128))
 
     def test_search_covers_grid(self, tuned):
         _prog, result = tuned
@@ -36,7 +35,7 @@ class TestAutotune:
 
     def test_best_sizes_usable(self, tuned):
         prog, result = tuned
-        opt = optimize(prog, target="cpu", tile_sizes=result.best_sizes)
+        opt = optimize(prog, CompileOptions(target="cpu", tile_sizes=result.best_sizes))
         t = cpu_time(analyze_optimized(opt), 32)
         assert t == pytest.approx(result.best_time, rel=1e-6)
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.baselines import (
     halide_work,
     naive_work,
@@ -56,7 +57,7 @@ class TestPartitionedResult:
         prog = unsharp_mask.build(256)
         partition = unsharp_mask.halide_partition(prog)
         t_halide = cpu_time(halide_work(prog, partition, (8, 32)), 32)
-        ours = optimize(prog, target="cpu", tile_sizes=(8, 32))
+        ours = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 32)))
         t_ours = cpu_time(analyze_optimized(ours), 32)
         assert t_ours <= t_halide
 

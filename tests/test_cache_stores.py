@@ -385,7 +385,7 @@ def test_compile_results_bit_identical_across_tiers(tmp_path):
 
     def tree_of(cache):
         prog = build_workload("atax", 32)
-        return print_tree(cached_optimize(prog, cache=cache).tree, prog)
+        return print_tree(cached_optimize(prog, options=CompileOptions(cache=cache)).tree, prog)
 
     local_only = CompileCache(cache_dir=str(tmp_path / "solo"))
     baseline = tree_of(local_only)

@@ -10,6 +10,7 @@ reference.
 import numpy as np
 import pytest
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store
 from repro.codegen.cbackend import compile_and_run, compiler_available, generate_c
 from repro.core import optimize
@@ -35,7 +36,7 @@ def roundtrip(prog, tree):
 class TestSourceGeneration:
     def test_conv2d_source_structure(self):
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         src = generate_c(res.tree, prog)
         assert "#pragma omp parallel for" in src
         assert "static double A[14][14];" in src
@@ -44,7 +45,7 @@ class TestSourceGeneration:
 
     def test_all_liveouts_written(self):
         prog = polybench.build_gemver(8)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         src = generate_c(res.tree, prog)
         assert 'write_tensor("x1.out.bin"' in src
         assert 'write_tensor("w.out.bin"' in src
@@ -66,27 +67,27 @@ class TestCompileAndRun:
     def test_post_tiling_fused_tree(self):
         """The headline: Fig. 5's fused/tiled/extended tree as real C."""
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         got, ref = roundtrip(prog, res.tree)
         np.testing.assert_allclose(got["C"], ref["C"], rtol=1e-12)
 
     def test_unsharp_mask_fused(self):
         prog = unsharp_mask.build(24)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 8)))
         got, ref = roundtrip(prog, res.tree)
         out = prog.liveout[0]
         np.testing.assert_allclose(got[out], ref[out], rtol=1e-12)
 
     def test_gemver_multi_liveout(self):
         prog = polybench.build_gemver(10)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         got, ref = roundtrip(prog, res.tree)
         np.testing.assert_allclose(got["x1"], ref["x1"], rtol=1e-12)
         np.testing.assert_allclose(got["w"], ref["w"], rtol=1e-12)
 
     def test_openmp_build_also_correct(self):
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         store = make_store(prog)
         got = compile_and_run(res.tree, prog, store, openmp=True)
         ref = make_store(prog)

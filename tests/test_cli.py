@@ -100,6 +100,30 @@ def test_tune_parallel_jobs(cache_dir, capsys):
     assert "best tile sizes:" in capsys.readouterr().out
 
 
+def test_partition_command(cache_dir, capsys):
+    rc = main(["partition", "camera_resnet", "--size", "64"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "workload:   camera_resnet" in out
+    assert "assignment:" in out
+    assert "modeled:" in out
+    assert "single npu  illegal" in out
+
+
+def test_partition_single_target_and_stats(cache_dir, capsys):
+    rc = main(["partition", "conv2d", "--size", "32",
+               "--targets", "cpu", "--stats"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "degenerate: one partition" in out
+    assert "per-pass timings" in out
+
+
+def test_partition_rejects_bad_targets(cache_dir):
+    with pytest.raises(SystemExit, match="targets"):
+        main(["partition", "conv2d", "--targets", "cpu,tpu"])
+
+
 def test_cache_info_and_clear(cache_dir, capsys):
     assert main(["optimize", "conv2d", "--size", "32", "--tile", "8", "8"]) == 0
     capsys.readouterr()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.codegen import print_tree, promoted_buffers, total_scratch_bytes
 from repro.core import optimize
 from repro.pipelines import conv2d, unsharp_mask
@@ -12,7 +13,7 @@ PARAMS = {"H": 16, "W": 16, "KH": 3, "KW": 3}
 
 @pytest.fixture(scope="module")
 def result():
-    return optimize(conv2d.build(PARAMS), target="cpu", tile_sizes=(4, 4))
+    return optimize(conv2d.build(PARAMS), CompileOptions(target="cpu", tile_sizes=(4, 4)))
 
 
 class TestOpenMPPrinter:
@@ -51,7 +52,7 @@ class TestOpenMPPrinter:
 class TestCUDAPrinter:
     def test_block_thread_mapping(self):
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="gpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="gpu", tile_sizes=(4, 4)))
         code = print_tree(res.tree, prog, style="cuda")
         assert "blockIdx.x" in code
         assert "threadIdx" in code
@@ -78,7 +79,7 @@ class TestPromotion:
         in registers/cache anyway); the fused blur_x stage's output gets a
         per-tile scratch buffer."""
         prog = unsharp_mask.build(64)
-        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         (bufs,) = promoted_buffers(res).values()
         assert [b.tensor for b in bufs] == ["t_blurx"]
         assert bufs[0].exact_elems > 0

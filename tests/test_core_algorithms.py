@@ -8,6 +8,7 @@ is our origin (2*o0, 2*o1)).
 
 import pytest
 
+from repro import CompileOptions
 from repro.core import (
     CPU,
     ExtensionScheduleEntry,
@@ -163,12 +164,12 @@ class TestAlgorithm1:
 class TestEndToEnd:
     def test_optimize_fuses_all_statements(self):
         prog = conv2d.build(PARAMS)
-        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(2, 2)))
         assert result.fusion_summary() == [["S0", "S1", "S2", "S3"]]
 
     def test_tree_has_extension_below_tile_band(self):
         prog = conv2d.build(PARAMS)
-        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(2, 2)))
         exts = [n for n in result.tree.walk() if isinstance(n, ExtensionNode)]
         assert len(exts) == 1
         bands = [n for n in result.tree.walk() if isinstance(n, BandNode)]
@@ -180,7 +181,7 @@ class TestEndToEnd:
 
     def test_original_s0_subtree_skipped(self):
         prog = conv2d.build(PARAMS)
-        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(2, 2)))
         filters = top_level_filters(result.tree)
         s0_filters = [f for f in filters if f.statements == ("S0",)]
         assert len(s0_filters) == 1
@@ -188,7 +189,7 @@ class TestEndToEnd:
 
     def test_parallelism_not_lost(self):
         prog = conv2d.build(PARAMS)
-        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(2, 2)))
         bands = [
             n
             for n in result.tree.walk()
@@ -198,5 +199,5 @@ class TestEndToEnd:
 
     def test_compile_time_recorded(self):
         prog = conv2d.build(PARAMS)
-        result = optimize(prog, target="cpu", tile_sizes=(2, 2))
+        result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(2, 2)))
         assert result.compile_seconds > 0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.core import optimize
 from repro.machine import analyze_optimized, analyze_scheduled
 from repro.machine.cost import (
@@ -49,7 +50,7 @@ class TestPrimitives:
 
 class TestTrafficAccounting:
     def test_liveout_written_once(self, prog):
-        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         work = analyze_optimized(res)
         (cluster,) = work.clusters
         # C is written exactly once (62*62 doubles)
@@ -57,7 +58,7 @@ class TestTrafficAccounting:
 
     def test_halo_traffic_exceeds_tensor_size(self, prog):
         """Reading A per tile with halos costs more than one pass."""
-        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         work = analyze_optimized(res)
         (cluster,) = work.clusters
         a_bytes = 64 * 64 * 8
@@ -71,7 +72,7 @@ class TestTrafficAccounting:
         assert s0_cluster.dram_write_bytes == 64 * 64 * 8
 
     def test_scratch_only_when_fused(self, prog):
-        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         fused = analyze_optimized(res)
         assert fused.clusters[0].scratch_bytes_per_tile > 0
         sched = schedule_program(prog, MINFUSE)
@@ -82,13 +83,13 @@ class TestTrafficAccounting:
 class TestOverlapPolicies:
     def test_box_total_never_cheaper(self):
         prog = unsharp_mask.build(256)
-        res = optimize(prog, target="cpu", tile_sizes=(8, 32))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 32)))
         exact = analyze_optimized(res, overlap="exact")
         loose = analyze_optimized(res, overlap="box_total")
         assert loose.total_ops() >= exact.total_ops()
         assert loose.total_dram_bytes() >= exact.total_dram_bytes()
 
     def test_unknown_policy_rejected(self, prog):
-        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         with pytest.raises(ValueError):
             analyze_optimized(res, overlap="nonsense")

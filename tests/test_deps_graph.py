@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.__main__ import main as cli_main
 from repro.deps.graph import critical_path, dependence_graph, stage_levels, to_dot
 from repro.core import optimize
@@ -33,7 +34,7 @@ class TestDependenceGraph:
 
     def test_dot_export(self):
         prog = conv2d.build({"H": 8, "W": 8})
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         dot = to_dot(prog, clusters=res.fusion_summary())
         assert dot.startswith("digraph")
         assert "subgraph cluster_0" in dot

@@ -43,6 +43,7 @@ ALL_WORKLOADS = [
 
 CHILD = """
 import hashlib, sys
+from repro import CompileOptions
 from repro.__main__ import _build_workload, _default_tiles
 from repro.codegen import print_tree, run_program
 from repro.codegen.cbackend import generate_c
@@ -50,7 +51,7 @@ from repro.core import optimize
 
 name, size, with_interp = sys.argv[1], int(sys.argv[2]), sys.argv[3] == "1"
 prog = _build_workload(name, size)
-result = optimize(prog, tile_sizes=_default_tiles(name))
+result = optimize(prog, CompileOptions(tile_sizes=_default_tiles(name)))
 chunks = [print_tree(result.tree, prog, style="openmp")]
 chunks.append(generate_c(result.tree, prog))
 if with_interp:

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store, run_program
 from repro.core import optimize
 from repro.core.validate import validate_tree
@@ -64,7 +65,7 @@ def pipelines(draw):
 def test_fuzzed_pipeline_executes_correctly(prog, tiles):
     ref = make_store(prog)
     execute_naive(prog, ref)
-    result = optimize(prog, target="cpu", tile_sizes=tiles)
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=tiles))
     store, _ = run_program(prog, result.tree)
     out = prog.liveout[0]
     np.testing.assert_allclose(store[out], ref[out], rtol=1e-9, atol=1e-12)
@@ -73,7 +74,7 @@ def test_fuzzed_pipeline_executes_correctly(prog, tiles):
 @settings(max_examples=12, deadline=None)
 @given(pipelines())
 def test_fuzzed_pipeline_schedule_is_legal(prog):
-    result = optimize(prog, target="cpu", tile_sizes=(4, 4))
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
     report = validate_tree(result.tree, prog, max_pairs_per_dep=4000)
     assert report.ok, str(report)
 
@@ -83,7 +84,7 @@ def test_fuzzed_pipeline_schedule_is_legal(prog):
 def test_fuzzed_pipeline_gpu_target(prog):
     ref = make_store(prog)
     execute_naive(prog, ref)
-    result = optimize(prog, target="gpu", tile_sizes=(4, 4))
+    result = optimize(prog, CompileOptions(target="gpu", tile_sizes=(4, 4)))
     store, _ = run_program(prog, result.tree)
     out = prog.liveout[0]
     np.testing.assert_allclose(store[out], ref[out], rtol=1e-9, atol=1e-12)

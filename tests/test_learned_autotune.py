@@ -323,15 +323,12 @@ def test_compile_batch_collects_untagged_tiled_requests(cache_dir, monkeypatch):
     path = cache_dir / "batch.jsonl"
     monkeypatch.setenv("REPRO_DATASET", str(path))
     prog = build_workload("mvt", 64)
-    outs = compile_batch(
-        [
+    outs = compile_batch([
             CompileRequest(prog, tile_sizes=(8, 8)),
             CompileRequest(prog, tile_sizes=(8, 8)),  # dedup: one record
             CompileRequest(prog, tile_sizes=(4, 4), tag="autotune"),  # skipped
             CompileRequest(prog),  # untiled: nothing to learn from
-        ],
-        mode="serial",
-    )
+        ], options=CompileOptions(mode="serial"))
     assert all(o.ok for o in outs)
     records = list(Dataset(path))
     assert len(records) == 1
@@ -354,27 +351,27 @@ def test_autotune_ambient_env_collection(cache_dir, monkeypatch):
 # bugfix regressions
 
 
-def test_mixing_options_with_explicit_default_kwargs_rejected(cache_dir):
-    """Explicitly-passed default values are no longer silently dropped."""
+def test_removed_per_keyword_configuration_rejected(cache_dir):
+    """Every retired per-keyword spelling raises the pointed TypeError."""
     from repro.core import optimize
     from repro.service.driver import CompileRequest, cached_optimize, compile_batch
 
     prog = build_workload("mvt", 64)
     opts = CompileOptions(target="cpu")
-    with pytest.raises(TypeError, match="not both"):
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
         autotune_tile_sizes(prog, target="cpu", options=opts)
-    with pytest.raises(TypeError, match="not both"):
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
         autotune_tile_sizes(prog, mode="serial", options=opts)
-    with pytest.raises(TypeError, match="not both"):
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
         optimize(prog, target="cpu", options=opts)
-    with pytest.raises(TypeError, match="not both"):
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
         optimize(prog, tile_sizes=None, options=opts)
-    with pytest.raises(TypeError, match="not both"):
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
         cached_optimize(prog, startup="smartfuse", options=opts)
-    with pytest.raises(TypeError, match="not both"):
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
         compile_batch([CompileRequest(prog)], mode="auto", options=opts)
-    # the pure-legacy spellings still work, defaults included
-    result = optimize(prog, target="cpu", tile_sizes=(8, 8))
+    # the options spelling is the one path, defaults included
+    result = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
     assert result.tile_sizes == (8, 8)
 
 

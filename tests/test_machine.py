@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.core import optimize
 from repro.machine import (
     ConvLayer,
@@ -28,7 +29,7 @@ def prog():
 
 @pytest.fixture(scope="module")
 def works(prog):
-    res = optimize(prog, target="cpu", tile_sizes=(32, 32))
+    res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(32, 32)))
     ours = analyze_optimized(res)
     byh = {}
     for h in (MINFUSE, SMARTFUSE, MAXFUSE):

@@ -12,6 +12,7 @@ import os
 import subprocess
 import sys
 
+from repro import CompileOptions
 from repro.presburger import BasicMap, Constraint, LinExpr, MapSpace, memo
 from repro.presburger.memo import MemoTable
 from repro.service import CompileCache, cached_optimize
@@ -159,6 +160,7 @@ def test_corrupt_memo_snapshot_is_evicted_not_fatal(tmp_path):
 
 CHILD = """
 import sys
+from repro import CompileOptions
 from repro.codegen import print_tree
 from repro.core import optimize
 from repro.pipelines import conv2d
@@ -170,13 +172,13 @@ prog = conv2d.build({"H": 48, "W": 48, "KH": 3, "KW": 3})
 cache = CompileCache(cache_dir=cache_dir)
 # Force a real compile (drop the spilled result) but keep the memo store.
 cache.clear(results=True, memos=False)
-warm = cached_optimize(prog, "cpu", (16, 16), cache=cache)
+warm = cached_optimize(prog, options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
 assert cache.stats.memo_hits == 1, cache.stats
 warm_hits = sum(v["warm_hits"] for v in memo.stats().values())
 assert warm_hits > 0, memo.stats()
 # Cold reference in this same (fresh-symtab) process.
 memo.clear_all()
-cold = optimize(prog, target="cpu", tile_sizes=(16, 16))
+cold = optimize(prog, CompileOptions(target="cpu", tile_sizes=(16, 16)))
 assert print_tree(warm.tree, prog) == print_tree(cold.tree, prog)
 print("warm_hits", warm_hits)
 """
@@ -185,7 +187,7 @@ print("warm_hits", warm_hits)
 def test_spilled_memos_warm_start_a_fresh_process(tmp_path):
     prog = conv2d.build({"H": 48, "W": 48, "KH": 3, "KW": 3})
     cache = CompileCache(cache_dir=str(tmp_path))
-    cached_optimize(prog, "cpu", (16, 16), cache=cache)
+    cached_optimize(prog, options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
     assert cache.info()["memo_entries"] == 1
 
     # A different hash seed stresses entry portability: the child's symbol
@@ -208,5 +210,5 @@ def test_spill_disabled_by_env(tmp_path, monkeypatch):
     assert not memo_spill_enabled()
     prog = conv2d.build({"H": 40, "W": 40, "KH": 3, "KW": 3})
     cache = CompileCache(cache_dir=str(tmp_path))
-    cached_optimize(prog, "cpu", (16, 16), cache=cache)
+    cached_optimize(prog, options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
     assert cache.info()["memo_entries"] == 0

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store, run_program
 from repro.codegen.promotion import storage_reduction
 from repro.core import optimize
@@ -69,7 +70,7 @@ class TestMultiLevelTiling:
 class TestStorageReduction:
     def test_conv2d_quantised_input(self):
         prog = conv2d.build({"H": 64, "W": 64, "KH": 3, "KW": 3})
-        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         (red,) = storage_reduction(res)
         assert red.tensor == "A"
         assert red.full_bytes == 64 * 64 * 8
@@ -77,19 +78,15 @@ class TestStorageReduction:
         assert red.factor == pytest.approx(64 * 64 / 100)
 
     def test_factor_grows_with_image(self):
-        small = optimize(
-            conv2d.build({"H": 32, "W": 32}), target="cpu", tile_sizes=(8, 8)
-        )
-        big = optimize(
-            conv2d.build({"H": 128, "W": 128}), target="cpu", tile_sizes=(8, 8)
-        )
+        small = optimize(conv2d.build({"H": 32, "W": 32}), CompileOptions(target="cpu", tile_sizes=(8, 8)))
+        big = optimize(conv2d.build({"H": 128, "W": 128}), CompileOptions(target="cpu", tile_sizes=(8, 8)))
         (rs,) = storage_reduction(small)
         (rb,) = storage_reduction(big)
         assert rb.factor > rs.factor
 
     def test_unsharp_reduces_blur_storage(self):
         prog = unsharp_mask.build(128)
-        res = optimize(prog, target="cpu", tile_sizes=(8, 16))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 16)))
         reds = {r.tensor: r for r in storage_reduction(res)}
         assert "t_blurx" in reds
         assert reds["t_blurx"].factor > 10

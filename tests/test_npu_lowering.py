@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.codegen import print_tree
 from repro.codegen.cce import (
     CCELoweringError,
@@ -23,7 +24,7 @@ PARAMS = {"H": 16, "W": 16, "KH": 3, "KW": 3}
 class TestGPUMapping:
     def test_kernel_per_cluster(self):
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="gpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="gpu", tile_sizes=(4, 4)))
         kernels = map_to_gpu(res)
         # one fused kernel for the whole pipeline + one skipped original
         live = [k for k in kernels if len(k.statements) > 1]
@@ -34,7 +35,7 @@ class TestGPUMapping:
 
     def test_sync_emitted_in_cuda(self):
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="gpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="gpu", tile_sizes=(4, 4)))
         map_to_gpu(res)
         code = print_tree(res.tree, prog, style="cuda")
         assert "__syncthreads();" in code
@@ -42,7 +43,7 @@ class TestGPUMapping:
 
     def test_mapping_is_idempotent(self):
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="gpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="gpu", tile_sizes=(4, 4)))
         k1 = map_to_gpu(res)
         k2 = map_to_gpu(res)
         assert [k.name for k in k1] == [k.name for k in k2]
@@ -53,7 +54,7 @@ class TestGPUMapping:
         from repro.codegen import execute_naive, make_store, run_program
 
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="gpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="gpu", tile_sizes=(4, 4)))
         map_to_gpu(res)
         ref = make_store(prog)
         execute_naive(prog, ref)
@@ -64,7 +65,7 @@ class TestGPUMapping:
 class TestCCELowering:
     def test_conv_bn_pair_lowering(self):
         pair = resnet.build_operator_pair(16, 16)
-        res = optimize(pair, target="npu", tile_sizes=(4, 4))
+        res = optimize(pair, CompileOptions(target="npu", tile_sizes=(4, 4)))
         (kernel,) = lower_to_cce(res)
         mems = {b.tensor: b.memory for b in kernel.buffers}
         assert mems["X"] == L0A
@@ -74,7 +75,7 @@ class TestCCELowering:
 
     def test_fused_pair_forwards_on_chip(self):
         pair = resnet.build_operator_pair(16, 16)
-        res = optimize(pair, target="npu", tile_sizes=(4, 4))
+        res = optimize(pair, CompileOptions(target="npu", tile_sizes=(4, 4)))
         (kernel,) = lower_to_cce(res)
         assert kernel.onchip_forward == ["F"]
         text = kernel.render()
@@ -101,7 +102,7 @@ class TestCCELowering:
 
     def test_capacity_check(self):
         pair = resnet.build_operator_pair(64, 64)
-        res = optimize(pair, target="npu", tile_sizes=(32, 32))
+        res = optimize(pair, CompileOptions(target="npu", tile_sizes=(32, 32)))
         tiny = NPUSpec(ub_bytes=64)
         with pytest.raises(CCELoweringError):
             lower_to_cce(res, spec=tiny)

@@ -8,6 +8,7 @@ import time
 
 import pytest
 
+from repro import CompileOptions
 from repro import obs
 from repro.obs import (
     CompileReport,
@@ -302,7 +303,7 @@ class TestPipelineTrace:
 
         prog = IMAGE_PIPELINES["harris"].build(128)
         with collect(trace=True) as report:
-            optimize(prog, tile_sizes=(32, 32))
+            optimize(prog, CompileOptions(tile_sizes=(32, 32)))
         obj = chrome_trace(report)
         assert validate_chrome_trace(obj) == []
         assert trace_nesting_depth(obj) >= 4
@@ -317,7 +318,7 @@ class TestPipelineTrace:
         prog = conv2d.build({"H": 24, "W": 24, "KH": 3, "KW": 3})
         reqs = [CompileRequest(prog, tile_sizes=(t, t)) for t in (4, 8)]
         with collect(trace=True) as report:
-            outs = compile_batch(reqs, mode="thread", max_workers=2)
+            outs = compile_batch(reqs, options=CompileOptions(mode="thread", jobs=2))
         assert all(o.ok for o in outs)
         # Worker-thread spans made it back into the driver's report...
         assert report.counters.get("driver.worker_reports_merged") == 2

@@ -119,14 +119,16 @@ class TestEntryPoints:
     def test_optimize_positional_options(self):
         p = build_conv()
         r1 = optimize(p, CompileOptions(target="cpu", tile_sizes=(8, 8)))
-        r2 = optimize(p, target="cpu", tile_sizes=(8, 8))
+        r2 = optimize(p, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         assert r1.fusion_summary() == r2.fusion_summary()
         assert r1.tile_sizes == r2.tile_sizes == (8, 8)
 
-    def test_optimize_rejects_mixing(self):
+    def test_optimize_rejects_removed_kwargs(self):
         p = build_conv()
-        with pytest.raises(TypeError, match="not both"):
-            optimize(p, CompileOptions(), tile_sizes=(8, 8))
+        with pytest.raises(TypeError, match="no longer accepts per-keyword"):
+            optimize(p, target="cpu", tile_sizes=(8, 8))
+        with pytest.raises(TypeError, match="no longer accepts per-keyword"):
+            optimize(p, CompileOptions(), startup="smartfuse")
         with pytest.raises(TypeError):
             optimize(p, CompileOptions(), options=CompileOptions())
 
@@ -138,7 +140,7 @@ class TestEntryPoints:
         assert r.tile_sizes is not None
         assert all(s == 1 for s in r.tile_sizes)
         # Requested sizes are clipped to the band depth before reporting.
-        deep = optimize(p, tile_sizes=(8, 8, 8, 8, 8, 8))
+        deep = optimize(p, CompileOptions(tile_sizes=(8, 8, 8, 8, 8, 8)))
         assert deep.tile_sizes is not None
         assert len(deep.tile_sizes) <= 6
 
@@ -147,7 +149,7 @@ class TestEntryPoints:
         reqs = [CompileRequest(p, tile_sizes=(t, t)) for t in (4, 8)]
         outs = compile_batch(reqs, options=CompileOptions(mode="serial"))
         assert all(o.ok for o in outs)
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError, match="no longer accepts per-keyword"):
             compile_batch(reqs, mode="serial", options=CompileOptions())
 
     def test_cached_optimize_options(self, tmp_path):
@@ -161,7 +163,7 @@ class TestEntryPoints:
 
     def test_autotune_options_match_legacy(self):
         p = build_conv()
-        legacy = autotune_tile_sizes(p, target="cpu", candidates=(4, 8), dims=2)
+        legacy = autotune_tile_sizes(p, options=CompileOptions(target="cpu", mode="serial"), candidates=(4, 8), dims=2)
         opt = autotune_tile_sizes(
             p, candidates=(4, 8), dims=2,
             options=CompileOptions(target="cpu", mode="serial"),
@@ -169,9 +171,11 @@ class TestEntryPoints:
         assert legacy.best_sizes == opt.best_sizes
         assert legacy.evaluations == opt.evaluations
 
-    def test_autotune_rejects_mixing(self):
+    def test_autotune_rejects_removed_kwargs(self):
         p = build_conv()
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError, match="no longer accepts per-keyword"):
             autotune_tile_sizes(
                 p, target="gpu", options=CompileOptions(target="gpu")
             )
+        with pytest.raises(TypeError, match="no longer accepts per-keyword"):
+            autotune_tile_sizes(p, mode="serial")

@@ -1,0 +1,229 @@
+"""Heterogeneous cpu/gpu/npu partitioning: the tentpole contract.
+
+Three fronts:
+
+* **Degeneracy** — ``partition_pipeline(targets=["cpu"])`` must be a plain
+  compile wearing a different coat: same schedule tree, same generated C,
+  same compile-cache fingerprint as ``optimize(target="cpu")``, for every
+  benchmark workload.  The single-partition path reuses the original
+  :class:`~repro.ir.Program` object, so nothing can drift.
+* **Mixed beats single** — on the engineered ``camera_resnet`` and
+  ``edge_infer`` pipelines the beam picks a genuinely heterogeneous
+  assignment whose modeled cost beats every *legal* single-target compile
+  (the NPU is illegal outright: both pipelines open with an in-place
+  quantisation stage Davinci cores cannot express).
+* **Host-glue parity** — :func:`~repro.partition.execute_partitioned`
+  staging tensors across per-partition device stores is bit-identical
+  to running the whole pipeline on one target.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, PartitionOptions, partition_pipeline
+from repro.codegen import print_tree, run_program
+from repro.codegen.cbackend import generate_c
+from repro.core import optimize
+from repro.partition import execute_partitioned
+from repro.service import cached_optimize, fingerprint_request
+from repro.service.cache import CompileCache
+from repro.workloads import build_workload, default_tile_sizes
+from tests.test_determinism import ALL_WORKLOADS
+
+#: Small builds for interpreter-parity runs (full-size takes minutes).
+SMALL = 40
+SMALL_K = 5
+
+
+def _small(name):
+    from repro.pipelines.mixed import MIXED_BUILDERS
+
+    return MIXED_BUILDERS[name](SMALL, k=SMALL_K)
+
+
+# -- options and validation ------------------------------------------------
+
+
+def test_partition_options_normalizes_targets():
+    o = PartitionOptions(targets=("gpu", "cpu", "gpu"))
+    assert o.target_names == ("gpu", "cpu")
+    with pytest.raises(ValueError, match="unknown target"):
+        PartitionOptions(targets=("tpu",))
+    with pytest.raises(ValueError, match="at least one"):
+        PartitionOptions(targets=())
+
+
+def test_partition_rejects_removed_kwargs():
+    prog = build_workload("conv2d", 32)
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
+        partition_pipeline(prog, target="cpu")
+    with pytest.raises(TypeError, match="no longer accepts per-keyword"):
+        partition_pipeline(prog, tile_sizes=(8, 8))
+    with pytest.raises(TypeError, match="PartitionOptions"):
+        partition_pipeline(prog, options=CompileOptions())
+
+
+def test_explicit_assignment_validation():
+    prog = _small("camera_resnet")
+    with pytest.raises(ValueError, match="misses statements"):
+        partition_pipeline(
+            prog, targets=("cpu", "gpu"), assignment={"Squant": "cpu"}
+        )
+    with pytest.raises(ValueError, match="candidate"):
+        partition_pipeline(
+            prog,
+            targets=("cpu",),
+            assignment={s.name: "gpu" for s in prog.statements},
+        )
+    # the in-place quantisation stage cannot run on the NPU
+    bad = {s.name: "npu" for s in prog.statements}
+    with pytest.raises(ValueError, match="npu"):
+        partition_pipeline(prog, targets=("cpu", "npu"), assignment=bad)
+
+
+# -- degeneracy ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,size", ALL_WORKLOADS)
+def test_single_target_partition_is_a_plain_compile(name, size):
+    prog = build_workload(name, size)
+    tiles = default_tile_sizes(name)
+    sched = partition_pipeline(
+        prog, PartitionOptions(targets=("cpu",), tile_sizes=tiles)
+    )
+    assert sched.is_degenerate
+    assert sched.targets_used == ("cpu",)
+    assert sched.cuts == []
+    (part,) = sched.partitions
+    assert part.program is prog  # the original object, not a clone
+
+    ref = optimize(prog, CompileOptions(target="cpu", tile_sizes=tiles))
+    assert print_tree(part.result.tree, prog) == print_tree(ref.tree, prog)
+    assert generate_c(part.result.tree, prog) == generate_c(ref.tree, prog)
+    assert part.fingerprint == fingerprint_request(prog, "cpu", tiles)
+
+
+def test_degenerate_partition_shares_the_compile_cache(tmp_path):
+    prog = build_workload("conv2d", 48)
+    cache = CompileCache(cache_dir=str(tmp_path))
+    cached_optimize(
+        prog, options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache)
+    )
+    assert cache.stats.misses == 1
+    sched = partition_pipeline(
+        prog,
+        PartitionOptions(targets=("cpu",), tile_sizes=(16, 16), cache=cache),
+    )
+    # the partition compile answered from the warm entry — same key
+    assert cache.stats.hits >= 1
+    assert sched.partitions[0].fingerprint == fingerprint_request(
+        prog, "cpu", (16, 16)
+    )
+
+
+def test_degenerate_execution_matches_plain_run():
+    prog = build_workload("conv2d", 32)
+    sched = partition_pipeline(
+        prog, PartitionOptions(targets=("cpu",), tile_sizes=(8, 8))
+    )
+    host, counts, transfers = execute_partitioned(sched, seed=3)
+    assert transfers == []
+    ref_store, ref_counts = run_program(
+        prog,
+        optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8))).tree,
+        seed=3,
+    )
+    assert counts == ref_counts
+    for t in prog.tensors:
+        assert np.array_equal(host[t], ref_store[t]), t
+
+
+# -- mixed beats single ----------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["camera_resnet", "edge_infer"])
+def test_mixed_assignment_beats_every_single_target(name):
+    prog = build_workload(name)  # full size: the regime the beam is for
+    sched = partition_pipeline(
+        prog, PartitionOptions(tile_sizes=default_tile_sizes(name))
+    )
+    assert not sched.is_degenerate
+    assert len(sched.targets_used) >= 2
+    assert sched.cuts, "a heterogeneous schedule must cross at least one edge"
+    mixed = sched.modeled["mixed"]
+    single = sched.modeled["single"]
+    assert mixed["total_seconds"] == pytest.approx(
+        mixed["compute_seconds"] + mixed["transfer_seconds"]
+    )
+    assert single["npu"] is None  # in-place stage: no legal all-NPU compile
+    for target, seconds in single.items():
+        if seconds is not None:
+            assert mixed["total_seconds"] < seconds, target
+    # cut edges carry exact footprints priced by the transfer model
+    for cut in sched.cuts:
+        assert cut.nbytes > 0 and cut.seconds > 0
+        assert cut.src_target != cut.dst_target
+
+
+def test_summary_is_jsonable():
+    import json
+
+    sched = partition_pipeline(
+        _small("edge_infer"), PartitionOptions(tile_sizes=(8, 8))
+    )
+    text = json.dumps(sched.summary())
+    assert "assignment" in text and "modeled" in text
+
+
+# -- host-glue parity ------------------------------------------------------
+
+FORCED = {
+    "camera_resnet": {
+        "Squant": "gpu",
+        "Sconv1_init": "npu",
+        "Sconv1": "npu",
+        "Sbn1": "npu",
+        "Sconv2_init": "npu",
+        "Sconv2": "npu",
+        "Sbn2": "cpu",
+    },
+    "edge_infer": {
+        "Snorm": "cpu",
+        "Sbox": "gpu",
+        "Sconv_init": "npu",
+        "Sconv": "npu",
+        "Srelu": "gpu",
+    },
+}
+
+
+@pytest.mark.parametrize("name", ["camera_resnet", "edge_infer"])
+def test_multi_target_execution_is_bit_identical(name):
+    prog = _small(name)
+    sched = partition_pipeline(
+        prog,
+        PartitionOptions(tile_sizes=(8, 8)),
+        assignment=FORCED[name],
+    )
+    assert len(sched.partitions) >= 3
+    host, counts, transfers = execute_partitioned(sched, seed=7)
+    assert transfers  # data really moved between device stores
+    assert sum(counts.values()) > 0
+
+    ref = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
+    ref_store, _ = run_program(prog, ref.tree, seed=7)
+    for t in prog.tensors:
+        assert np.array_equal(host[t], ref_store[t]), t
+
+
+def test_transfer_records_match_cut_edges():
+    prog = _small("edge_infer")
+    sched = partition_pipeline(
+        prog, PartitionOptions(tile_sizes=(8, 8)), assignment=FORCED["edge_infer"]
+    )
+    _, _, transfers = execute_partitioned(sched)
+    moved = {r.tensor for r in transfers}
+    for cut in sched.cuts:
+        assert cut.tensor in moved
+    for r in transfers:
+        assert r.nbytes > 0

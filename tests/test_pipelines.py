@@ -4,6 +4,7 @@ sizes) executes identically to the naive program order."""
 import numpy as np
 import pytest
 
+from repro import CompileOptions
 from repro.codegen.interp import execute_naive, make_store, run_program
 from repro.core import optimize
 from repro.pipelines import (
@@ -23,7 +24,7 @@ from repro.pipelines import (
 def check_equivalence(prog, tile_sizes, target="cpu"):
     ref_store = make_store(prog)
     execute_naive(prog, ref_store)
-    result = optimize(prog, target=target, tile_sizes=tile_sizes)
+    result = optimize(prog, CompileOptions(target=target, tile_sizes=tile_sizes))
     store, _ = run_program(prog, result.tree)
     for tensor in prog.liveout:
         np.testing.assert_allclose(
@@ -75,7 +76,7 @@ class TestImagePipelineCorrectness:
         from repro.core import optimize
 
         prog = bilateral_grid.build(1024)
-        res = optimize(prog, target="cpu", tile_sizes=bilateral_grid.TILE_SIZES)
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=bilateral_grid.TILE_SIZES))
         assert len(res.fusion_summary()) == 1
 
     def test_camera_pipeline(self):
@@ -117,7 +118,7 @@ class TestEquake:
 
     def test_our_pass_fuses_the_follow_up_nests(self):
         prog = equake.build(n=64)
-        res = optimize(prog, target="cpu", tile_sizes=None)
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=None))
         # everything lands in one cluster: at least as aggressive as the
         # maxfuse grouping the paper reports
         assert len(res.fusion_summary()) == 1
@@ -133,7 +134,7 @@ class TestPolyBench:
         second's tiles: each D tile would recompute whole rows of tmp —
         the redundancy the paper's fusion strategy never introduces."""
         prog = polybench.build_2mm(512)
-        res = optimize(prog, target="cpu", tile_sizes=(32, 32))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(32, 32)))
         assert len(res.fusion_summary()) == 2
 
     def test_2mm_matches_numpy(self):
@@ -152,7 +153,7 @@ class TestPolyBench:
         """A2 is read by both live-out chains with full overlap: Algorithm 3
         must keep it unfused (no recomputation, ever)."""
         prog = polybench.build_gemver(12)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         summaries = res.fusion_summary()
         sa_cluster = [c for c in summaries if "Sa" in c]
         assert sa_cluster and sa_cluster[0] == ["Sa"]

@@ -2,6 +2,7 @@
 
 import numpy as np
 
+from repro import CompileOptions
 from repro.codegen import execute_naive, make_store, run_program
 from repro.core import optimize
 from repro.core.validate import validate_tree
@@ -11,7 +12,7 @@ from repro.pipelines import polybench
 def run_both(prog, tile_sizes):
     ref = make_store(prog)
     execute_naive(prog, ref)
-    res = optimize(prog, target="cpu", tile_sizes=tile_sizes)
+    res = optimize(prog, CompileOptions(target="cpu", tile_sizes=tile_sizes))
     store, _ = run_program(prog, res.tree)
     for t in prog.liveout:
         np.testing.assert_allclose(store[t], ref[t], rtol=1e-9)
@@ -27,7 +28,7 @@ class Test3mm:
 
     def test_no_redundant_fusion_at_scale(self):
         prog = polybench.build_3mm(256)
-        res = optimize(prog, target="cpu", tile_sizes=(32, 32))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(32, 32)))
         # three separate matmul clusters: chaining them would recompute
         assert len(res.fusion_summary()) == 3
 
@@ -41,7 +42,7 @@ class TestAtax:
 
     def test_legal_schedule(self):
         prog = polybench.build_atax(8)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         assert validate_tree(res.tree, prog).ok
 
 
@@ -55,7 +56,7 @@ class TestBicg:
 
     def test_liveouts_stay_separate(self):
         prog = polybench.build_bicg(64)
-        res = optimize(prog, target="cpu", tile_sizes=(8, 8))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         # live-out spaces are never fused with each other (Section IV-C)
         summaries = res.fusion_summary()
         assert len(summaries) == 2
@@ -80,7 +81,7 @@ class TestDoitgen:
         """The copy-back stage is pointwise over the reduction output and
         fuses into its tiles without recomputation."""
         prog = polybench.build_doitgen(16)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         flat = [s for cluster in res.fusion_summary() for s in cluster]
         assert len(res.fusion_summary()) == 1
         assert set(flat) == {"Sd0", "Sd1", "Sd2"}

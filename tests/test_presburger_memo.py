@@ -3,6 +3,7 @@ operation memo tables, and their instrumentation wiring."""
 
 import pickle
 
+from repro import CompileOptions
 from repro.core import optimize
 from repro.pipelines import conv2d
 from repro.presburger import (
@@ -140,7 +141,7 @@ class TestStatsWiring:
     def test_optimize_reports_memo_counters(self):
         prog = build_conv()
         with instrument.collect() as report:
-            optimize(prog, "cpu", (8, 8))
+            optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         hits = [k for k in report.counters if k.startswith("presburger.memo.")]
         assert hits, "no presburger.memo.* counters reached the collector"
 

@@ -59,6 +59,15 @@ def test_protocol_rejects_malformed():
     assert protocol.validate_request(
         protocol.request("autotune", {"workload": "x", "candidates": []})
     )
+    assert protocol.validate_request(
+        protocol.request("partition", {"workload": "x", "targets": []})
+    )
+    assert protocol.validate_request(
+        protocol.request("partition", {"workload": "x", "targets": ["tpu"]})
+    )
+    assert protocol.validate_request(
+        protocol.request("partition", {"workload": "x", "targets": ["cpu"]})
+    ) == []
     # bool ids and bool tile entries are not ints
     bad = protocol.request("compile", {"workload": "x"}, id=1)
     bad["id"] = True
@@ -439,6 +448,27 @@ def test_autotune_over_the_wire(tmp_path):
     assert st.server.registry.counters["serve.requests.autotune"] == 2
 
 
+def test_partition_over_the_wire(tmp_path):
+    config = _config(tmp_path)
+    with ServerThread(config) as st:
+        with ServeClient(socket_path=config.socket_path) as c:
+            out = c.partition("camera_resnet", size=64)
+            assert out["workload"] == "camera_resnet"
+            assert set(out["assignment"]) == {
+                "Squant", "Sconv1_init", "Sconv1", "Sbn1",
+                "Sconv2_init", "Sconv2", "Sbn2",
+            }
+            assert out["partitions"] and out["modeled"]["mixed"]
+            # degenerate single-target request round-trips too
+            single = c.partition("conv2d", size=16, targets=["cpu"])
+            assert single["degenerate"] is True
+            assert single["targets_used"] == ["cpu"]
+            with pytest.raises(ServeError) as e:
+                c.partition("no-such-workload")
+            assert e.value.code == "bad-request"
+    assert st.server.registry.counters["serve.requests.partition"] == 3
+
+
 def test_server_thread_surfaces_startup_failure(tmp_path):
     occupied = str(tmp_path / "dir-in-the-way")
     os.makedirs(os.path.join(occupied, "x"))  # unlink fails: non-empty dir
@@ -473,6 +503,9 @@ def test_cli_client_verbs(tmp_path, capsys):
         assert main(["client", "--socket", sock, "tune", "conv2d",
                      "--size", "16", "--candidates", "8", "16"]) == 0
         assert "best tile sizes:" in capsys.readouterr().out
+        assert main(["client", "--socket", sock, "partition", "conv2d",
+                     "--size", "16", "--targets", "cpu"]) == 0
+        assert "assignment:" in capsys.readouterr().out
         assert main(["client", "--socket", sock, "shutdown"]) == 0
         assert "stopping: True" in capsys.readouterr().out
 

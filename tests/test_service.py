@@ -15,6 +15,7 @@ import threading
 
 import pytest
 
+from repro import CompileOptions
 from repro.core import optimize
 from repro.pipelines import conv2d, polybench
 from repro.scheduler.autotune import autotune_tile_sizes
@@ -71,10 +72,10 @@ def test_fingerprint_unknown_target_does_not_raise():
 def test_second_optimize_served_from_cache(tmp_path):
     cache = CompileCache(cache_dir=str(tmp_path))
     p = build_conv()
-    r1 = cached_optimize(p, "cpu", (16, 16), cache=cache)
+    r1 = cached_optimize(p, options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
     assert cache.stats.misses == 1 and cache.stats.stores == 1
 
-    r2 = cached_optimize(build_conv(), "cpu", (16, 16), cache=cache)
+    r2 = cached_optimize(build_conv(), options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
     assert cache.stats.memory_hits == 1
     assert cache.stats.misses == 1
     assert r2.fusion_summary() == r1.fusion_summary()
@@ -84,20 +85,21 @@ def test_second_optimize_served_from_cache(tmp_path):
 def test_cache_round_trips_through_disk(tmp_path):
     p = build_conv()
     writer = CompileCache(cache_dir=str(tmp_path))
-    r1 = cached_optimize(p, "cpu", (16, 16), cache=writer)
+    r1 = cached_optimize(p, options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=writer))
 
     reader = CompileCache(cache_dir=str(tmp_path))  # cold memory tier
-    r2 = cached_optimize(build_conv(), "cpu", (16, 16), cache=reader)
+    r2 = cached_optimize(build_conv(), options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=reader))
     assert reader.stats.disk_hits == 1 and reader.stats.misses == 0
     assert r2.fusion_summary() == r1.fusion_summary()
 
 
 def test_cache_round_trips_across_processes(tmp_path):
     script = (
+        "from repro import CompileOptions\n"
         "from repro.pipelines import conv2d\n"
         "from repro.service import cached_optimize\n"
         "p = conv2d.build({'H': 32, 'W': 32, 'KH': 3, 'KW': 3})\n"
-        "cached_optimize(p, 'cpu', (16, 16))\n"
+        "cached_optimize(p, options=CompileOptions(target='cpu', tile_sizes=(16, 16)))\n"
     )
     env = dict(os.environ)
     env["REPRO_CACHE_DIR"] = str(tmp_path)
@@ -107,10 +109,10 @@ def test_cache_round_trips_across_processes(tmp_path):
     )
 
     cache = CompileCache(cache_dir=str(tmp_path))
-    result = cached_optimize(build_conv(), "cpu", (16, 16), cache=cache)
+    result = cached_optimize(build_conv(), options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
     assert cache.stats.disk_hits == 1 and cache.stats.misses == 0
     assert result.fusion_summary() == optimize(
-        build_conv(), "cpu", (16, 16)
+        build_conv(), CompileOptions(target="cpu", tile_sizes=(16, 16))
     ).fusion_summary()
 
 
@@ -118,7 +120,7 @@ def test_corrupted_entry_is_evicted_not_fatal(tmp_path):
     cache = CompileCache(cache_dir=str(tmp_path))
     p = build_conv()
     key = fingerprint_request(p, "cpu", (16, 16))
-    cached_optimize(p, "cpu", (16, 16), cache=cache)
+    cached_optimize(p, options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
     path = cache._path(key)
     assert os.path.exists(path)
     with open(path, "wb") as f:
@@ -129,7 +131,7 @@ def test_corrupted_entry_is_evicted_not_fatal(tmp_path):
     assert not os.path.exists(path)
     assert fresh.stats.errors == 1 and fresh.stats.disk_evictions == 1
     # And a full cached_optimize still works afterwards.
-    cached_optimize(build_conv(), "cpu", (16, 16), cache=fresh)
+    cached_optimize(build_conv(), options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=fresh))
     assert fresh.stats.stores == 1
 
 
@@ -155,7 +157,7 @@ def test_memory_lru_is_bounded(tmp_path):
 
 def test_cache_info_and_clear(tmp_path):
     cache = CompileCache(cache_dir=str(tmp_path))
-    cached_optimize(build_conv(), "cpu", (16, 16), cache=cache)
+    cached_optimize(build_conv(), options=CompileOptions(target="cpu", tile_sizes=(16, 16), cache=cache))
     info = cache.info()
     assert info["disk_entries"] == 1 and info["disk_bytes"] > 0
     assert info["memory_entries"] == 1
@@ -176,7 +178,7 @@ def test_compile_batch_dedupes_and_isolates_errors():
         CompileRequest(p, tile_sizes=(8, 8)),
         CompileRequest(p, target="bogus"),  # must not kill the batch
     ]
-    outcomes = compile_batch(requests, mode="serial")
+    outcomes = compile_batch(requests, options=CompileOptions(mode="serial"))
     assert len(outcomes) == 4
     assert outcomes[0].fingerprint == outcomes[1].fingerprint
     assert outcomes[0].ok and outcomes[1].ok and outcomes[2].ok
@@ -188,9 +190,9 @@ def test_compile_batch_uses_cache(tmp_path):
     cache = CompileCache(cache_dir=str(tmp_path))
     p = build_conv()
     requests = [CompileRequest(p, tile_sizes=(16, 16))]
-    first = compile_batch(requests, mode="serial", cache=cache)
+    first = compile_batch(requests, options=CompileOptions(mode="serial", cache=cache))
     assert not first[0].from_cache
-    second = compile_batch(requests, mode="serial", cache=cache)
+    second = compile_batch(requests, options=CompileOptions(mode="serial", cache=cache))
     assert second[0].from_cache
     assert cache.stats.hits == 1
 
@@ -204,10 +206,10 @@ def test_compile_batch_parallel_modes(mode):
         CompileRequest(p, target="bogus"),
     ]
     try:
-        outcomes = compile_batch(requests, mode=mode, max_workers=2)
+        outcomes = compile_batch(requests, options=CompileOptions(mode=mode, jobs=2))
     except OSError:
         pytest.skip(f"{mode} pool unavailable in this environment")
-    serial = compile_batch(requests, mode="serial")
+    serial = compile_batch(requests, options=CompileOptions(mode="serial"))
     for got, want in zip(outcomes, serial):
         assert got.ok == want.ok
         if got.ok:
@@ -218,7 +220,7 @@ def test_compile_batch_parallel_modes(mode):
 
 def test_compile_batch_rejects_unknown_mode():
     with pytest.raises(ValueError):
-        compile_batch([], mode="warp")
+        compile_batch([], options=CompileOptions(mode="warp"))
 
 
 # -- autotune through the driver -------------------------------------------
@@ -233,9 +235,7 @@ def test_compile_batch_rejects_unknown_mode():
 )
 def test_autotune_parallel_matches_serial(builder, candidates):
     serial = autotune_tile_sizes(builder(), candidates=candidates, dims=2)
-    parallel = autotune_tile_sizes(
-        builder(), candidates=candidates, dims=2, mode="auto", jobs=2
-    )
+    parallel = autotune_tile_sizes(builder(), options=CompileOptions(mode="auto", jobs=2), candidates=candidates, dims=2)
     assert parallel.best_sizes == serial.best_sizes
     assert parallel.best_time == serial.best_time
     assert parallel.evaluations == serial.evaluations
@@ -245,10 +245,10 @@ def test_autotune_parallel_matches_serial(builder, candidates):
 def test_autotune_warm_cache_reuses_results(tmp_path):
     cache = CompileCache(cache_dir=str(tmp_path))
     p = build_conv()
-    cold = autotune_tile_sizes(p, candidates=(8, 16), dims=2, cache=cache)
+    cold = autotune_tile_sizes(p, options=CompileOptions(cache=cache, mode="serial"), candidates=(8, 16), dims=2)
     stores = cache.stats.stores
     assert stores > 0
-    warm = autotune_tile_sizes(p, candidates=(8, 16), dims=2, cache=cache)
+    warm = autotune_tile_sizes(p, options=CompileOptions(cache=cache, mode="serial"), candidates=(8, 16), dims=2)
     assert cache.stats.stores == stores  # nothing recompiled
     assert cache.stats.hits >= stores
     assert warm.best_sizes == cold.best_sizes
@@ -266,7 +266,7 @@ def test_instrument_collects_pass_spans_and_counters():
     memo.clear_all()
     p = build_conv()
     with instrument.collect() as report:
-        optimize(p, "cpu", (16, 16))
+        optimize(p, CompileOptions(target="cpu", tile_sizes=(16, 16)))
     assert {"startup_fusion", "tile_shapes", "post_fusion"} <= set(report.spans)
     assert all(s.seconds >= 0 and s.calls == 1 for s in report.spans.values())
     assert report.counters.get("presburger.fm_eliminate", 0) > 0
@@ -293,7 +293,7 @@ def test_instrument_nested_collectors():
 
 def test_optimize_result_pickle_round_trip():
     p = build_conv()
-    result = optimize(p, "cpu", (16, 16))
+    result = optimize(p, CompileOptions(target="cpu", tile_sizes=(16, 16)))
     clone = pickle.loads(pickle.dumps(result))
     assert clone.fusion_summary() == result.fusion_summary()
     assert clone.tile_sizes == result.tile_sizes
@@ -376,7 +376,7 @@ def test_compile_batch_process_interrupt_aborts_pool(monkeypatch):
         CompileRequest(build_conv(24, 24)),
     ]
     with pytest.raises(KeyboardInterrupt):
-        compile_batch(requests, mode="process")
+        compile_batch(requests, options=CompileOptions(mode="process"))
     assert ("shutdown", False, True) in events  # cancel_futures, no wait
     assert ("terminate", 101) in events and ("terminate", 102) in events
     assert ("join", 101) in events and ("join", 102) in events
@@ -407,4 +407,4 @@ def test_compile_batch_auto_mode_degrades_but_reraises_interrupt(monkeypatch):
         CompileRequest(build_conv(24, 24)),
     ]
     with pytest.raises(KeyboardInterrupt):
-        compile_batch(requests, mode="auto")
+        compile_batch(requests, options=CompileOptions(mode="auto"))

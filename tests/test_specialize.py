@@ -15,6 +15,7 @@ import random
 
 import pytest
 
+from repro import CompileOptions
 from repro.presburger import memo
 from repro.presburger.basic_map import BasicMap
 from repro.presburger.basic_set import BasicSet
@@ -239,7 +240,7 @@ def test_parametric_footprint_code_parity(name, size):
             os.environ["REPRO_PARAMETRIC_FP"] = flag
             memo.clear_all()
             prog = _build_workload(name, size)
-            res = optimize(prog, target="cpu", tile_sizes=_default_tiles(name))
+            res = optimize(prog, CompileOptions(target="cpu", tile_sizes=_default_tiles(name)))
             outs[flag] = (
                 print_tree(res.tree, prog, style="openmp"),
                 res.fusion_summary(),
@@ -264,9 +265,9 @@ def test_parametric_footprint_memo_reused_across_sizes():
     try:
         memo.clear_all()
         prog = _build_workload("unsharp_mask", 128)
-        optimize(prog, target="cpu", tile_sizes=(8, 8))
+        optimize(prog, CompileOptions(target="cpu", tile_sizes=(8, 8)))
         first = memo.stats()["tile_footprint"]["misses"]
-        optimize(prog, target="cpu", tile_sizes=(32, 32))
+        optimize(prog, CompileOptions(target="cpu", tile_sizes=(32, 32)))
         second = memo.stats()["tile_footprint"]["misses"]
         # The second candidate misses on its concrete keys but reuses the
         # symbolic result: strictly fewer fresh computations than the first.

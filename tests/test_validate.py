@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import CompileOptions
 from repro.core import optimize
 from repro.core.validate import validate_tree
 from repro.pipelines import conv2d, harris, polybench, unsharp_mask
@@ -26,24 +27,24 @@ class TestLegalSchedules:
 
     def test_post_tiling_fusion_is_legal(self):
         prog = conv2d.build(PARAMS)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         report = validate_tree(res.tree, prog)
         assert report.ok, str(report)
 
     def test_deep_pipeline_fusion_is_legal(self):
         prog = unsharp_mask.build(20)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         assert validate_tree(res.tree, prog).ok
 
     def test_diamond_pipeline_is_legal(self):
         prog = harris.build(16)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         report = validate_tree(res.tree, prog)
         assert report.ok, str(report)
 
     def test_multi_liveout_is_legal(self):
         prog = polybench.build_gemver(8)
-        res = optimize(prog, target="cpu", tile_sizes=(4, 4))
+        res = optimize(prog, CompileOptions(target="cpu", tile_sizes=(4, 4)))
         assert validate_tree(res.tree, prog).ok
 
 

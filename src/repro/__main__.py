@@ -144,6 +144,10 @@ def _traced_compile(args):
 def cmd_trace(args) -> int:
     from .obs import chrome_trace, trace_nesting_depth, write_trace
 
+    if args.request:
+        return _cmd_trace_request(args)
+    if not args.workload:
+        raise SystemExit("trace: need a workload (or --request <trace-id>)")
     prog, report, wall = _traced_compile(args)
     write_trace(report, args.output, format=args.format)
     depth = (
@@ -159,9 +163,38 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_trace_request(args) -> int:
+    """Stitch one distributed request's spans out of event-log files."""
+    import json
+
+    from .obs import stitch_event_logs
+
+    logs = args.log or []
+    if not logs:
+        raise SystemExit("trace --request: need at least one --log PATH")
+    chrome, n_streams = stitch_event_logs(logs, args.request)
+    if n_streams == 0:
+        print(
+            f"no trace records for {args.request} in {len(logs)} log(s)",
+            file=sys.stderr,
+        )
+        return 1
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(chrome, f)
+    other = chrome["otherData"]
+    print(
+        f"request {args.request}: {other['spans']} spans from "
+        f"{n_streams} stream(s) ({', '.join(other['services'])}) "
+        f"-> {args.output}"
+    )
+    return 0
+
+
 def cmd_profile(args) -> int:
     from .obs import format_profile, profile_tree
 
+    if args.critical_path:
+        return _cmd_profile_critical_path(args)
     prog, report, wall = _traced_compile(args)
     roots = profile_tree(report)
     print(f"{prog.name} compile profile ({args.target}):")
@@ -170,6 +203,64 @@ def cmd_profile(args) -> int:
             roots, top=args.top, max_depth=args.depth, wall_seconds=wall
         )
     )
+    return 0
+
+
+def _cmd_profile_critical_path(args) -> int:
+    """Partition the workload, run it, and report the critical path —
+    measured span durations next to the partitioner's analytical model."""
+    from .obs import collect, critical_path
+    from .options import PartitionOptions
+    from .partition import partition_pipeline
+    from .partition.host import execute_partitioned
+
+    prog = _build_workload(args.workload, args.size)
+    options = PartitionOptions(
+        targets=_parse_targets(args.targets),
+        tile_sizes=_default_tiles(args.workload),
+    )
+    sched = partition_pipeline(prog, options=options)
+    with collect(trace=True) as report:
+        execute_partitioned(sched)
+
+    measured_nodes: dict = {}
+    transfers: dict = {}
+    for e in report.events:
+        if e.name == "partition.compute":
+            measured_nodes[e.attrs["partition"]] = e.duration
+        elif e.name == "partition.transfer":
+            key = (e.attrs["tensor"], e.attrs["src"], e.attrs["dst"])
+            transfers[key] = transfers.get(key, 0.0) + e.duration
+    modeled_nodes = {p.name: p.modeled_seconds for p in sched.partitions}
+
+    modeled_edges = []
+    measured_edges = []
+    for cut in sched.cuts:
+        modeled_edges.append((cut.src, cut.dst, cut.seconds))
+        # The host stages a cut tensor out of src then into dst; the
+        # measured edge cost is both copies.
+        measured = transfers.get((cut.tensor, cut.src, "host"), 0.0) + \
+            transfers.get((cut.tensor, "host", cut.dst), 0.0)
+        measured_edges.append((cut.src, cut.dst, measured))
+
+    meas_total, meas_path = critical_path(measured_nodes, measured_edges)
+    model_total, model_path = critical_path(modeled_nodes, modeled_edges)
+
+    print(f"{prog.name} critical path "
+          f"({', '.join(options.target_names)} partitioning):")
+    print(f"  {'partition':<16} {'target':<6} "
+          f"{'measured':>12} {'modeled':>12}")
+    for part in sched.partitions:
+        meas = measured_nodes.get(part.name, 0.0)
+        print(f"  {part.name:<16} {part.target:<6} "
+              f"{meas * 1e6:>9.1f} us {part.modeled_seconds * 1e6:>9.1f} us")
+    for cut, (_, _, meas) in zip(sched.cuts, measured_edges):
+        print(f"  cut {cut.tensor:<12} {cut.src}->{cut.dst:<10} "
+              f"{meas * 1e6:>9.1f} us {cut.seconds * 1e6:>9.1f} us")
+    print(f"  critical path (measured): {meas_total * 1e6:.1f} us "
+          f"via {' -> '.join(meas_path)}")
+    print(f"  critical path (modeled):  {model_total * 1e6:.1f} us "
+          f"via {' -> '.join(model_path)}")
     return 0
 
 
@@ -487,7 +578,9 @@ def _cmd_cache_serve(args) -> int:
     from .service.stores import StoreServer
 
     directory = args.dir or default_cache_dir()
-    server = StoreServer(directory, host=args.host, port=args.port)
+    server = StoreServer(
+        directory, host=args.host, port=args.port, events_path=args.events_log
+    )
     host, port = server.address
     print(f"repro-store serving {directory} on http://{host}:{port}", flush=True)
     try:
@@ -515,6 +608,9 @@ def cmd_serve(args) -> int:
         request_timeout=args.timeout,
         drain_timeout=args.drain_timeout,
         cache=cache_spec,
+        trace_sample=args.trace_sample,
+        events_path=args.events_log,
+        sample_interval=args.sample_interval,
     )
     server = CompileServer(config)
 
@@ -541,6 +637,8 @@ def cmd_serve(args) -> int:
 
 
 def _client_compile(client, args) -> int:
+    if getattr(args, "trace", None):
+        return _client_compile_traced(client, args)
     out = client.compile(
         args.workload,
         size=args.size,
@@ -556,6 +654,59 @@ def _client_compile(client, args) -> int:
     print(f"deduped:      {'yes' if out.get('deduped') else 'no'}")
     if out.get("fusion"):
         print(f"fusion:       {out['fusion']}")
+    return 0
+
+
+def _client_compile_traced(client, args) -> int:
+    """One traced compile RPC, stitched into a Perfetto-loadable file.
+
+    The client lane comes from a local tracing collector around the RPC;
+    the daemon lane rides back in the result's ``trace`` field; the store
+    lane is derived from the server-side handling times the remote store
+    echoed into the daemon's ``store.*`` spans.
+    """
+    import json
+
+    from .obs import collect, span
+    from .obs.distributed import derive_store_stream, stitch, stream_from_report
+
+    ctx = client.new_trace(sampled=True)
+    with collect(trace=True) as report:
+        with span(
+            "client.request",
+            workload=args.workload,
+            target=args.target,
+            trace_id=ctx.trace_id,
+        ):
+            out = client.compile(
+                args.workload,
+                size=args.size,
+                target=args.target,
+                tile_sizes=args.tile,
+                startup=args.startup,
+                trace=ctx,
+            )
+    streams = [stream_from_report(report, "client", ctx)]
+    daemon = out.get("trace")
+    if daemon:
+        streams.append(daemon)
+        store = derive_store_stream(daemon)
+        if store:
+            streams.append(store)
+    chrome = stitch(streams, trace_id=ctx.trace_id)
+    with open(args.trace, "w", encoding="utf-8") as f:
+        json.dump(chrome, f)
+    other = chrome["otherData"]
+    print(f"workload:     {out['workload']}")
+    print(f"fingerprint:  {out['fingerprint']}")
+    print(f"compile time: {out['compile_ms']:.1f} ms (server-side)")
+    print(f"from cache:   {'yes' if out['from_cache'] else 'no'}")
+    print(f"trace id:     {ctx.trace_id}")
+    print(f"trace:        {other['spans']} spans across "
+          f"{', '.join(other['services'])} -> {args.trace}")
+    if not daemon:
+        print("note: daemon returned no span payload (sampled out?)",
+              file=sys.stderr)
     return 0
 
 
@@ -605,6 +756,8 @@ def _client_partition(client, args) -> int:
 def _client_stats(client, args) -> int:
     import json
 
+    if getattr(args, "watch", False):
+        return _client_stats_watch(client, args)
     snapshot = client.stats()
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
@@ -617,6 +770,123 @@ def _client_stats(client, args) -> int:
     for key in sorted(k for k in gauges if k.startswith("serve.")):
         print(f"  {key:28s} {gauges[key]:.3f}")
     return 0
+
+
+def _client_stats_watch(client, args) -> int:
+    """Poll the server's metrics and print what changed between polls."""
+    import time as _time
+
+    from .obs import diff_snapshots, format_diff
+
+    prev = client.stats()
+    print(f"watching {prev.get('schema')} every {args.interval:.1f}s "
+          "(ctrl-c to stop)")
+    frames = 0
+    try:
+        while args.count is None or frames < args.count:
+            _time.sleep(args.interval)
+            cur = client.stats()
+            deltas = diff_snapshots(prev, cur)
+            text = format_diff(deltas, only_changed=True)
+            stamp = _time.strftime("%H:%M:%S")
+            if text.strip():
+                print(f"-- {stamp}")
+                print(text)
+            else:
+                print(f"-- {stamp} (no change)")
+            prev = cur
+            frames += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _format_top_frame(sample, recent_events) -> str:
+    """One ``repro top`` dashboard frame as text."""
+    lines = []
+    up = sample.get("uptime_seconds", 0.0)
+    lines.append(
+        f"repro top — up {up:7.1f}s   "
+        f"requests {sample.get('requests_total', 0)}   "
+        f"connections {sample.get('connections', 0)}"
+    )
+    lines.append(
+        f"  req/s {sample.get('req_per_s', 0.0):7.2f}   "
+        f"dedup {sample.get('dedup_rate', 0.0) * 100:5.1f}%   "
+        f"active flights {sample.get('active_flights', 0)}   "
+        f"inflight compiles {sample.get('inflight_compiles', 0)}"
+    )
+    lines.append(
+        f"  compile p50 {sample.get('compile_p50_ms', 0.0):8.1f} ms   "
+        f"p99 {sample.get('compile_p99_ms', 0.0):8.1f} ms   "
+        f"errors {sample.get('compile_errors', 0)}"
+    )
+    extra = []
+    if "flush_queue_depth" in sample:
+        extra.append(f"flush queue {sample['flush_queue_depth']:.0f}")
+    if sample.get("remote_down"):
+        extra.append("REMOTE DOWN")
+    if sample.get("events_dropped"):
+        extra.append(f"events dropped {sample['events_dropped']}")
+    if extra:
+        lines.append("  " + "   ".join(extra))
+    for tier, t in sorted(sample.get("tiers", {}).items()):
+        lines.append(
+            f"  tier {tier:<9} {t.get('hit_pct', 0.0):5.1f}% hit "
+            f"({t.get('gets', 0)} gets)"
+        )
+    if recent_events:
+        lines.append("  recent events:")
+        for ev in recent_events[-5:]:
+            lines.append(
+                f"    [{ev.get('level', '?'):<5}] {ev.get('event', '?')}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """Live daemon telemetry off the ``watch`` verb."""
+    import time as _time
+
+    from .serve.client import ServeClient, ServeError
+
+    socket_path, host, port = args.socket, args.host, args.port
+    if socket_path is None and host is None:
+        from .serve.server import default_socket_path
+
+        socket_path = default_socket_path()
+    try:
+        with ServeClient(
+            socket_path=socket_path, host=host, port=port, timeout=30.0
+        ) as client:
+            seq = 0
+            frames = 0
+            while True:
+                reply = client.watch(since=seq)
+                samples = reply.get("samples", [])
+                if samples:
+                    seq = samples[-1]["seq"]
+                    frame = _format_top_frame(
+                        samples[-1], reply.get("recent_events", [])
+                    )
+                    if not args.once:
+                        # ANSI: home + clear-to-end, no full-screen buffer.
+                        sys.stdout.write("\x1b[H\x1b[2J")
+                    print(frame, flush=True)
+                    frames += 1
+                if args.once and frames:
+                    return 0
+                if args.frames is not None and frames >= args.frames:
+                    return 0
+                _time.sleep(args.interval or reply.get("interval", 1.0))
+    except KeyboardInterrupt:
+        return 0
+    except ServeError as exc:
+        print(f"server error ({exc.code}): {exc.message}", file=sys.stderr)
+        return 1
+    except (OSError, TimeoutError) as exc:
+        print(f"cannot reach compile server: {exc}", file=sys.stderr)
+        return 1
 
 
 def _client_health(client, _args) -> int:
@@ -714,6 +984,11 @@ def main(argv=None) -> int:
                          help="`serve`: bind address")
     cache_p.add_argument("--port", type=int, default=0,
                          help="`serve`: TCP port (0 picks a free one)")
+    cache_p.add_argument(
+        "--events-log", default=None, metavar="PATH",
+        help="`serve`: append structured events (including per-request "
+        "trace records) to this JSONL file",
+    )
     cache_p.set_defaults(fn=cmd_cache)
 
     data_p = sub.add_parser(
@@ -829,7 +1104,38 @@ def main(argv=None) -> int:
     )
     serve_p.add_argument("--no-cache", action="store_true",
                          help="serve without a result cache")
+    serve_p.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="head-sampling probability for traced requests (0..1; "
+        "sampled-out requests pay only the null-span fast path)",
+    )
+    serve_p.add_argument(
+        "--events-log", default=None, metavar="PATH",
+        help="append structured lifecycle events and per-request trace "
+        "records to this JSONL file",
+    )
+    serve_p.add_argument(
+        "--sample-interval", type=float, default=1.0, metavar="SECONDS",
+        help="period of the telemetry ring sampler behind `repro top`",
+    )
     serve_p.set_defaults(fn=cmd_serve)
+
+    top_p = sub.add_parser(
+        "top", help="live daemon telemetry dashboard (the `watch` verb)"
+    )
+    top_p.add_argument("--socket", default=None,
+                       help="unix socket path of the server")
+    top_p.add_argument("--host", default=None, help="server TCP host")
+    top_p.add_argument("--port", type=int, default=None, help="server TCP port")
+    top_p.add_argument(
+        "--interval", type=float, default=None,
+        help="refresh period (default: the server's sample interval)",
+    )
+    top_p.add_argument("--once", action="store_true",
+                       help="print one frame and exit (CI-friendly)")
+    top_p.add_argument("--frames", type=int, default=None,
+                       help="exit after N frames")
+    top_p.set_defaults(fn=cmd_top)
 
     client_p = sub.add_parser(
         "client", help="talk to a running compile server"
@@ -854,6 +1160,12 @@ def main(argv=None) -> int:
         vp.add_argument("--startup", default="smartfuse")
         if verb == "compile":
             vp.add_argument("--tile", type=int, nargs="+", default=None)
+            vp.add_argument(
+                "--trace", nargs="?", const="stitched-trace.json",
+                default=None, metavar="OUT.json",
+                help="trace the request end to end and write one stitched "
+                "Perfetto-loadable file (client + daemon + store lanes)",
+            )
         else:
             vp.add_argument("--threads", type=int, default=None)
             vp.add_argument("--candidates", type=int, nargs="+", default=None)
@@ -868,6 +1180,14 @@ def main(argv=None) -> int:
         "--json", action="store_true",
         help="emit the raw repro-metrics/1 snapshot",
     )
+    stats_cp.add_argument(
+        "--watch", action="store_true",
+        help="poll the server and print metric deltas between polls",
+    )
+    stats_cp.add_argument("--interval", type=float, default=2.0,
+                          help="`--watch` poll period in seconds")
+    stats_cp.add_argument("--count", type=int, default=None,
+                          help="`--watch`: stop after N polls")
     client_sub.add_parser("health")
     client_sub.add_parser("shutdown")
     client_p.set_defaults(fn=cmd_client)
@@ -881,7 +1201,10 @@ def main(argv=None) -> int:
         ("profile", cmd_profile),
     ):
         p = sub.add_parser(name)
-        p.add_argument("workload")
+        if name == "trace":
+            p.add_argument("workload", nargs="?", default=None)
+        else:
+            p.add_argument("workload")
         p.add_argument("--size", type=int, default=None)
         p.add_argument("--tile", type=int, nargs="+", default=None)
         p.add_argument("--target", choices=["cpu", "gpu", "npu"], default="cpu")
@@ -910,11 +1233,31 @@ def main(argv=None) -> int:
                 help="chrome: Perfetto-loadable trace-event JSON; "
                 "jsonl: one structured event per line",
             )
+            p.add_argument(
+                "--request", default=None, metavar="TRACE_ID",
+                help="instead of compiling: stitch one distributed "
+                "request's spans out of event logs (needs --log)",
+            )
+            p.add_argument(
+                "--log", action="append", default=None, metavar="PATH",
+                help="event-log JSONL file(s) to search for --request "
+                "(repeatable; daemon and store logs alike)",
+            )
         if name == "profile":
             p.add_argument("--top", type=int, default=8,
                            help="children shown per level")
             p.add_argument("--depth", type=int, default=6,
                            help="maximum tree depth shown")
+            p.add_argument(
+                "--critical-path", action="store_true",
+                help="partition the workload, execute it, and print the "
+                "measured vs. modeled critical path",
+            )
+            p.add_argument(
+                "--targets", default="cpu,gpu,npu",
+                help="`--critical-path`: comma-separated target set "
+                "(default cpu,gpu,npu)",
+            )
         if name in ("time", "tune"):
             p.add_argument("--threads", type=int, default=32)
         if name == "tune":

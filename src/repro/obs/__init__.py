@@ -58,14 +58,33 @@ from .schema import (
     validate_jsonl,
     validate_metrics_snapshot,
 )
+from .distributed import (
+    HEADER,
+    TraceContext,
+    critical_path,
+    current_context,
+    new_context,
+    report_to_wire,
+    stitch,
+    stitch_event_logs,
+    stream_from_report,
+    use_context,
+    validate_trace_field,
+    wire_to_events,
+)
+from .events import EventLog, SampleRing, validate_event_log
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "HEADER",
     "MAX_EVENTS",
     "SNAPSHOT_SCHEMA",
     "TRACE_SCHEMA",
     "JSONL_SCHEMA",
     "CompileReport",
+    "EventLog",
+    "SampleRing",
+    "TraceContext",
     "Histogram",
     "MetricDelta",
     "MetricsRegistry",
@@ -77,6 +96,8 @@ __all__ = [
     "chrome_trace",
     "collect",
     "count",
+    "critical_path",
+    "current_context",
     "current_span_id",
     "diff_snapshots",
     "format_diff",
@@ -84,13 +105,22 @@ __all__ = [
     "gauge",
     "jsonl_lines",
     "merge_report",
+    "new_context",
     "observe",
     "profile_tree",
+    "report_to_wire",
     "span",
+    "stitch",
+    "stitch_event_logs",
+    "stream_from_report",
     "trace_nesting_depth",
     "tracing",
+    "use_context",
     "validate_chrome_trace",
+    "validate_event_log",
     "validate_jsonl",
     "validate_metrics_snapshot",
+    "validate_trace_field",
+    "wire_to_events",
     "write_trace",
 ]

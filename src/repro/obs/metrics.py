@@ -80,6 +80,38 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the bucket counts.
+
+        Linearly interpolates within the bucket that crosses the target
+        rank (lower edge 0 for the first bucket, ``max`` as the upper
+        edge of the overflow bucket) — the usual Prometheus-style
+        estimate, good enough for p50/p99 dashboards.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        lo = 0.0
+        for i, c in enumerate(self.counts):
+            if i < len(self.bounds):
+                hi = float(self.bounds[i])
+            else:  # overflow bucket: cap at the observed max
+                hi = float(self.max) if self.max is not None else lo
+            if cum + c >= target and c:
+                frac = (target - cum) / c
+                value = lo + (hi - lo) * max(0.0, min(1.0, frac))
+                if self.min is not None:
+                    value = max(value, float(self.min))
+                if self.max is not None:
+                    value = min(value, float(self.max))
+                return value
+            cum += c
+            lo = hi
+        return float(self.max) if self.max is not None else lo
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "bounds": list(self.bounds),

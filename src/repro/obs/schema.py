@@ -6,6 +6,7 @@ plus a tiny CLI for CI smoke jobs::
     python -m repro.obs.schema chrome  trace.json
     python -m repro.obs.schema jsonl   events.jsonl
     python -m repro.obs.schema metrics snapshot.json
+    python -m repro.obs.schema events  daemon-events.jsonl
 
 Exit status 0 when the file validates, 1 otherwise.
 """
@@ -167,13 +168,17 @@ def validate_jsonl(lines: List[str]) -> List[str]:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if len(argv) != 2 or argv[0] not in ("chrome", "jsonl", "metrics"):
+    if len(argv) != 2 or argv[0] not in ("chrome", "jsonl", "metrics", "events"):
         print(__doc__, file=sys.stderr)
         return 2
     kind, path = argv
     with open(path) as f:
         if kind == "jsonl":
             errors = validate_jsonl(f.read().splitlines())
+        elif kind == "events":
+            from .events import validate_event_log
+
+            errors = validate_event_log(f.read().splitlines())
         else:
             try:
                 obj = json.load(f)

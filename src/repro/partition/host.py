@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..codegen.interp import execute_tree, make_store
 from ..ir.tensor import TensorStore
+from ..obs.trace import span
 from .partitioner import PartitionedSchedule
 
 
@@ -59,7 +60,13 @@ def execute_partitioned(
 
     if sched.is_degenerate:
         part = sched.partitions[0]
-        counts = execute_tree(part.result.tree, part.program, host, params)
+        with span(
+            "partition.compute",
+            partition=part.name,
+            target=part.target,
+            modeled_seconds=part.modeled_seconds,
+        ):
+            counts = execute_tree(part.result.tree, part.program, host, params)
         return host, counts, staged
 
     counts: Dict[str, int] = {}
@@ -67,11 +74,26 @@ def execute_partitioned(
         device = TensorStore(part.program.tensors, params)
         for tensor in part.program.tensors:
             array = host[tensor]
-            device.set_input(tensor, array)
+            with span(
+                "partition.transfer",
+                tensor=tensor,
+                src="host",
+                dst=part.name,
+                bytes=array.nbytes,
+            ):
+                device.set_input(tensor, array)
             staged.append(
                 TransferRecord(tensor, "host", part.name, array.nbytes)
             )
-        part_counts = execute_tree(part.result.tree, part.program, device, params)
+        with span(
+            "partition.compute",
+            partition=part.name,
+            target=part.target,
+            modeled_seconds=part.modeled_seconds,
+        ):
+            part_counts = execute_tree(
+                part.result.tree, part.program, device, params
+            )
         for name, n in part_counts.items():
             counts[name] = counts.get(name, 0) + n
         written = {
@@ -79,7 +101,14 @@ def execute_partitioned(
         }
         for tensor in sorted(written):
             array = device[tensor]
-            host.set_input(tensor, array)
+            with span(
+                "partition.transfer",
+                tensor=tensor,
+                src=part.name,
+                dst="host",
+                bytes=array.nbytes,
+            ):
+                host.set_input(tensor, array)
             staged.append(
                 TransferRecord(tensor, part.name, "host", array.nbytes)
             )

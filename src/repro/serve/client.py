@@ -23,6 +23,7 @@ import time
 from typing import Mapping, Optional
 
 from . import protocol
+from ..obs import distributed
 
 
 class ServeError(RuntimeError):
@@ -108,12 +109,21 @@ class ServeClient:
         target: str = "cpu",
         tile_sizes=None,
         startup: str = "smartfuse",
+        trace: Optional[distributed.TraceContext] = None,
     ) -> dict:
+        """Compile via the daemon.
+
+        ``trace`` attaches a distributed-trace context (mint one with
+        :meth:`new_trace`); a sampled context makes the daemon return its
+        span tree in the result's ``trace`` field for stitching.
+        """
         params = {"workload": workload, "target": target, "startup": startup}
         if size is not None:
             params["size"] = size
         if tile_sizes is not None:
             params["tile_sizes"] = list(tile_sizes)
+        if trace is not None:
+            params["trace"] = trace.to_wire()
         return self.call("compile", params)
 
     def autotune(
@@ -125,6 +135,7 @@ class ServeClient:
         candidates=None,
         dims: Optional[int] = None,
         startup: str = "smartfuse",
+        trace: Optional[distributed.TraceContext] = None,
     ) -> dict:
         params = {"workload": workload, "target": target, "startup": startup}
         if size is not None:
@@ -135,6 +146,8 @@ class ServeClient:
             params["candidates"] = list(candidates)
         if dims is not None:
             params["dims"] = dims
+        if trace is not None:
+            params["trace"] = trace.to_wire()
         return self.call("autotune", params)
 
     def partition(
@@ -143,16 +156,31 @@ class ServeClient:
         size: Optional[int] = None,
         targets=None,
         startup: str = "smartfuse",
+        trace: Optional[distributed.TraceContext] = None,
     ) -> dict:
         params = {"workload": workload, "startup": startup}
         if size is not None:
             params["size"] = size
         if targets is not None:
             params["targets"] = list(targets)
+        if trace is not None:
+            params["trace"] = trace.to_wire()
         return self.call("partition", params)
+
+    @staticmethod
+    def new_trace(sampled: bool = True) -> distributed.TraceContext:
+        """Mint a fresh trace context for a traced request."""
+        return distributed.new_context(sampled=sampled)
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    def watch(self, since: int = 0, limit: Optional[int] = None) -> dict:
+        """Telemetry samples newer than ``since`` from the daemon's ring."""
+        params = {"since": since}
+        if limit is not None:
+            params["limit"] = limit
+        return self.call("watch", params)
 
     def health(self) -> dict:
         return self.call("health")

@@ -34,7 +34,15 @@ from typing import Dict, List, Mapping, Optional, Union
 PROTOCOL = "repro-serve/1"
 
 #: Methods the server accepts.
-METHODS = ("compile", "autotune", "partition", "stats", "health", "shutdown")
+METHODS = (
+    "compile",
+    "autotune",
+    "partition",
+    "stats",
+    "watch",
+    "health",
+    "shutdown",
+)
 
 #: Structured error codes a response may carry.
 ERROR_CODES = (
@@ -172,6 +180,20 @@ def validate_params(method: str, params: Mapping) -> List[str]:
         startup = params.get("startup", "smartfuse")
         if not isinstance(startup, str):
             errors.append(f"startup must be a string, got {startup!r}")
+        trace = params.get("trace")
+        if trace is not None:
+            # Optional distributed-trace context; an absent field is the
+            # pre-trace wire format and stays valid (back-compat).
+            from ..obs.distributed import validate_trace_field
+
+            errors.extend(validate_trace_field(trace))
+    if method == "watch":
+        _opt_int("since", minimum=0)
+        limit = params.get("limit")
+        if limit is not None and (
+            not isinstance(limit, int) or isinstance(limit, bool) or limit < 1
+        ):
+            errors.append(f"limit must be an int >= 1, got {limit!r}")
     if method == "compile":
         tiles = params.get("tile_sizes")
         if tiles is not None and (

@@ -45,17 +45,21 @@ needs a lock.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import os
 import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from ..obs import MetricsRegistry
+from ..obs import distributed
+from ..obs.events import EventLog, SampleRing
 from . import protocol
 from .singleflight import SingleFlight
 
@@ -99,6 +103,15 @@ class ServeConfig:
     request_timeout: float = 300.0
     drain_timeout: float = 10.0
     cache: object = "default"
+    #: Head-sampling rate applied to requests that *ask* for tracing; a
+    #: sampled-out request pays only the null-span fast path.
+    trace_sample: float = 1.0
+    #: JSONL event-log path (``None`` keeps the log memory-only).
+    events_path: Optional[str] = None
+    #: Seconds between telemetry ring-buffer samples (the ``watch`` verb).
+    sample_interval: float = 1.0
+    #: Telemetry ring capacity (samples retained for ``watch``).
+    ring_size: int = 300
 
     def __post_init__(self):
         if self.socket_path is None and self.host is None:
@@ -111,6 +124,16 @@ class ServeConfig:
             )
         if self.request_timeout <= 0 or self.drain_timeout <= 0:
             raise ValueError("timeouts must be positive")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError(
+                f"trace_sample must be in [0, 1], got {self.trace_sample!r}"
+            )
+        if self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, got {self.sample_interval!r}"
+            )
+        if self.ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {self.ring_size!r}")
 
 
 class CompileServer:
@@ -130,10 +153,15 @@ class CompileServer:
 
             self.cache = resolve_cache(config.cache)
         self.registry = MetricsRegistry()
+        self.events = EventLog(path=config.events_path)
+        self.ring = SampleRing(config.ring_size)
+        self._prev_sample: Optional[Dict[str, float]] = None
+        self._sampler: Optional[asyncio.Task] = None
         self._compile_fn = compile_fn or self._compile_workload
         self._autotune_fn = autotune_fn or self._autotune_workload
         self._partition_fn = partition_fn or self._partition_workload
         self._flight = SingleFlight()
+        self._shares_report: Dict[object, bool] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         self._servers = []
         self._writers = set()
@@ -185,6 +213,15 @@ class CompileServer:
                 "tcp": list(self.tcp_address) if self.tcp_address else None,
                 "workers": self.config.workers,
             }
+        )
+        self.events.emit(
+            "server.started",
+            pid=os.getpid(),
+            socket=self.config.socket_path,
+            trace_sample=self.config.trace_sample,
+        )
+        self._sampler = asyncio.get_running_loop().create_task(
+            self._sample_loop()
         )
 
     def request_shutdown(self) -> None:
@@ -246,6 +283,103 @@ class CompileServer:
                 os.unlink(self.config.socket_path)
             except OSError:
                 pass
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None
+        self.events.emit("server.stopped", pid=os.getpid())
+        self.events.close()
+
+    # -- telemetry ring ------------------------------------------------------
+
+    async def _sample_loop(self) -> None:
+        """Periodically fold a derived telemetry sample into the ring.
+
+        Runs on the event loop (the registry's home thread) so sampling
+        needs no locks; the ring itself is thread-safe for ``watch``.
+        """
+        while not self._stopping.is_set():
+            try:
+                await asyncio.wait_for(
+                    self._stopping.wait(), self.config.sample_interval
+                )
+                break
+            except asyncio.TimeoutError:
+                pass
+            except asyncio.CancelledError:
+                break
+            try:
+                self.ring.add(self._sample())
+            except Exception:
+                self.registry.inc("serve.sample_errors")
+
+    def _sample(self) -> Dict[str, object]:
+        """One derived telemetry sample (rates computed against the last)."""
+        now = time.monotonic()
+        c = self.registry.counters
+        cur = {
+            "t": now,
+            "requests": c.get("serve.requests", 0),
+            "dedup": c.get("serve.dedup_hits", 0),
+            "compiles": c.get("serve.compiles", 0),
+            "cache_hits": c.get("serve.cache_hits", 0),
+            "errors": c.get("serve.compile_errors", 0),
+        }
+        prev = self._prev_sample or cur
+        dt = max(1e-9, now - prev["t"])
+        d_req = cur["requests"] - prev["requests"]
+        d_dedup = cur["dedup"] - prev["dedup"]
+        d_done = (
+            (cur["compiles"] - prev["compiles"])
+            + (cur["cache_hits"] - prev["cache_hits"])
+            + d_dedup
+        )
+        self._prev_sample = cur
+        compile_ms = self.registry.histograms.get("serve.compile_ms")
+        sample: Dict[str, object] = {
+            "at": time.time(),
+            "uptime_seconds": now - self._started_at,
+            "requests_total": cur["requests"],
+            "req_per_s": d_req / dt,
+            "dedup_rate": (d_dedup / d_done) if d_done else 0.0,
+            "active_flights": len(self._flight),
+            "inflight_compiles": self._active_compiles,
+            "connections": self._connections,
+            "compile_errors": cur["errors"],
+            "compile_p50_ms": compile_ms.quantile(0.5) if compile_ms else 0.0,
+            "compile_p99_ms": compile_ms.quantile(0.99) if compile_ms else 0.0,
+            "events_dropped": self.events.stats()["dropped"],
+        }
+        if self.cache is not None:
+            tiers: Dict[str, Dict[str, float]] = {}
+            for tier, tstats in self.cache.tier_metrics():
+                counters = tstats.counters()
+                gauges = tstats.gauges()
+                gets = counters.get("gets", 0)
+                tiers[tier] = {
+                    "hit_pct": 100.0 * counters.get("hits", 0) / gets
+                    if gets
+                    else 0.0,
+                    "gets": gets,
+                }
+                if "inflight_flush" in gauges:
+                    sample["flush_queue_depth"] = gauges["inflight_flush"]
+                if "remote_down" in gauges:
+                    sample["remote_down"] = bool(gauges["remote_down"])
+            sample["tiers"] = tiers
+        return sample
+
+    def _watch(self, params: dict) -> dict:
+        """Telemetry samples newer than ``since`` plus recent events."""
+        samples, missed = self.ring.since(int(params.get("since", 0)))
+        limit = params.get("limit")
+        if limit is not None:
+            samples = samples[-int(limit):]
+        return {
+            "interval": self.config.sample_interval,
+            "samples": samples,
+            "missed": missed,
+            "recent_events": self.events.recent(10, type="event"),
+        }
 
     # -- connection handling -----------------------------------------------
 
@@ -341,14 +475,36 @@ class CompileServer:
             return self._health()
         if method == "stats":
             return self._stats()
+        if method == "watch":
+            return self._watch(params)
         if method == "shutdown":
             return self._shutdown()
         # compile / autotune: real work, subject to draining and limits.
+        ctx = distributed.TraceContext.from_wire(params.get("trace"))
+        if ctx is not None and ctx.sampled:
+            # Head-sampling is re-decided here so ``--trace-sample`` can
+            # throttle daemon-side tracing even when every client asks.
+            if not distributed.sample(self.config.trace_sample):
+                ctx = distributed.TraceContext(
+                    ctx.trace_id, ctx.span_id, sampled=False
+                )
+                self.registry.inc("serve.trace_sampled_out")
+            else:
+                self.registry.inc("serve.trace_sampled")
+        self.events.emit(
+            "request.received",
+            trace=ctx,
+            method=method,
+            workload=params.get("workload"),
+        )
         if self._stopping.is_set():
             self.registry.inc("serve.rejected_draining")
             raise RequestError("draining", "server is shutting down")
         if client["inflight"] >= self.config.client_limit:
             self.registry.inc("serve.rejected_overloaded")
+            self.events.emit(
+                "request.overloaded", level="warn", trace=ctx, method=method
+            )
             raise RequestError(
                 "overloaded",
                 f"client has {client['inflight']} requests in flight "
@@ -357,10 +513,10 @@ class CompileServer:
         client["inflight"] += 1
         try:
             if method == "compile":
-                return await self._rpc_compile(params)
+                return await self._rpc_compile(params, ctx)
             if method == "partition":
-                return await self._rpc_partition(params)
-            return await self._rpc_autotune(params)
+                return await self._rpc_partition(params, ctx)
+            return await self._rpc_autotune(params, ctx)
         finally:
             client["inflight"] -= 1
 
@@ -391,20 +547,13 @@ class CompileServer:
             "startup": startup,
         }
 
-    async def _rpc_compile(self, params: dict) -> dict:
+    async def _rpc_compile(self, params: dict, ctx=None) -> dict:
         norm = self._normalize_compile(params)
-        key = "compile:" + json.dumps(norm, sort_keys=True)
-        task, leader = self._flight.task(key, lambda: self._lead(norm, self._compile_fn))
-        if not leader:
-            self.registry.inc("serve.dedup_hits")
-        summary = await self._await_flight(task)
-        if summary.get("error"):
-            raise RequestError("compile-error", summary["error"])
-        result = dict(summary)
-        result["deduped"] = not leader
-        return result
+        return await self._run_flight(
+            "compile", norm, self._compile_fn, ctx, "compile-error"
+        )
 
-    async def _rpc_autotune(self, params: dict) -> dict:
+    async def _rpc_autotune(self, params: dict, ctx=None) -> dict:
         norm = self._normalize_compile({**params, "tile_sizes": None})
         norm.pop("tile_sizes")
         norm["threads"] = params.get("threads", 32)
@@ -413,20 +562,11 @@ class CompileServer:
         norm["candidates"] = (
             list(candidates) if candidates is not None else [8, 16, 32, 64, 128]
         )
-        key = "autotune:" + json.dumps(norm, sort_keys=True)
-        task, leader = self._flight.task(
-            key, lambda: self._lead(norm, self._autotune_fn)
+        return await self._run_flight(
+            "autotune", norm, self._autotune_fn, ctx, "autotune-error"
         )
-        if not leader:
-            self.registry.inc("serve.dedup_hits")
-        summary = await self._await_flight(task)
-        if summary.get("error"):
-            raise RequestError("autotune-error", summary["error"])
-        result = dict(summary)
-        result["deduped"] = not leader
-        return result
 
-    async def _rpc_partition(self, params: dict) -> dict:
+    async def _rpc_partition(self, params: dict, ctx=None) -> dict:
         norm = self._normalize_compile({**params, "tile_sizes": None})
         norm.pop("tile_sizes")
         norm.pop("target", None)
@@ -434,39 +574,79 @@ class CompileServer:
         norm["targets"] = (
             list(targets) if targets is not None else ["cpu", "gpu", "npu"]
         )
-        key = "partition:" + json.dumps(norm, sort_keys=True)
-        task, leader = self._flight.task(
-            key, lambda: self._lead(norm, self._partition_fn)
+        return await self._run_flight(
+            "partition", norm, self._partition_fn, ctx, "partition-error"
         )
+
+    async def _run_flight(self, method, norm, fn, ctx, error_code) -> dict:
+        """Single-flight dedup + trace/lifecycle bookkeeping for one verb.
+
+        The flight key ignores the trace context on purpose: identical
+        compiles dedup whether or not they are traced, so only the
+        leader's request gets its span tree back (followers see
+        ``deduped: true`` and can re-request untraced work).
+        """
+        key = method + ":" + json.dumps(norm, sort_keys=True)
+        task, leader = self._flight.task(key, lambda: self._lead(norm, fn, ctx))
         if not leader:
             self.registry.inc("serve.dedup_hits")
-        summary = await self._await_flight(task)
+            self.events.emit(
+                "request.deduped",
+                trace=ctx,
+                method=method,
+                workload=norm.get("workload"),
+            )
+        summary = await self._await_flight(task, method, ctx)
         if summary.get("error"):
-            raise RequestError("partition-error", summary["error"])
+            self.events.emit(
+                "request.failed",
+                level="error",
+                trace=ctx,
+                method=method,
+                error=summary["error"],
+            )
+            raise RequestError(error_code, summary["error"])
         result = dict(summary)
+        trace_payload = result.pop("_trace", None)
         result["deduped"] = not leader
+        if ctx is not None and ctx.sampled and trace_payload is not None:
+            result["trace"] = trace_payload
+        self.events.emit(
+            "request.completed",
+            trace=ctx,
+            method=method,
+            workload=norm.get("workload"),
+            ms=result.get("compile_ms"),
+            from_cache=bool(result.get("from_cache")),
+            deduped=not leader,
+        )
         return result
 
-    async def _await_flight(self, task) -> dict:
+    async def _await_flight(self, task, method=None, ctx=None) -> dict:
         try:
             return await asyncio.wait_for(
                 asyncio.shield(task), self.config.request_timeout
             )
         except asyncio.TimeoutError:
             self.registry.inc("serve.timeouts")
+            self.events.emit(
+                "request.timeout", level="warn", trace=ctx, method=method
+            )
             raise RequestError(
                 "timeout",
                 f"request did not finish within {self.config.request_timeout}s "
                 "(the compile continues server-side and will hit the cache)",
             )
 
-    async def _lead(self, norm: dict, fn) -> dict:
+    async def _lead(self, norm: dict, fn, ctx=None) -> dict:
         """The single-flight leader: run ``fn`` on the worker pool and fold
         its observations into the live registry."""
         loop = asyncio.get_running_loop()
         self._active_compiles += 1
         try:
-            summary, report = await loop.run_in_executor(self._executor, fn, norm)
+            summary, report, wire = await loop.run_in_executor(
+                self._executor, self._call_traced, fn, norm, ctx
+            )
         finally:
             self._active_compiles -= 1
         if report is not None:
@@ -481,7 +661,53 @@ class CompileServer:
             self.registry.observe(
                 "serve.compile_ms", summary["compile_ms"], LATENCY_BUCKETS_MS
             )
+        if wire is not None:
+            summary = dict(summary)
+            summary["_trace"] = wire
+            # Also append to the event log so ``repro trace --request``
+            # can stitch this daemon's lane from disk later.
+            self.events.emit_trace(wire)
         return summary
+
+    def _call_traced(self, fn, norm: dict, ctx):
+        """Worker-thread wrapper: run ``fn`` under a tracing collector when
+        the request carries a sampled context.
+
+        Returns ``(summary, report, wire_spans|None)``.  Unsampled (or
+        untraced) requests skip the collector entirely — the null-span
+        fast path.  The server's own workload fns accept ``report=`` and
+        reuse the tracing collector instead of opening their usual inner
+        one — two stacked collectors would double the dispatch cost of
+        every hot-loop counter, which is exactly the overhead the traced
+        budget in ``bench_obs_overhead --serve`` polices.  Injected test
+        ``compile_fn``\\ s keep their one-argument signature and simply
+        nest."""
+        from ..service import instrument
+
+        if ctx is None or not ctx.sampled:
+            summary, report = fn(norm)
+            return summary, report, None
+        shares_report = self._shares_report.get(fn)
+        if shares_report is None:
+            try:
+                shares_report = "report" in inspect.signature(fn).parameters
+            except (TypeError, ValueError):  # builtins, odd callables
+                shares_report = False
+            self._shares_report[fn] = shares_report
+        with distributed.use_context(ctx):
+            with instrument.collect(trace=True) as traced:
+                with instrument.span(
+                    "serve.request",
+                    trace_id=ctx.trace_id,
+                    parent_span_id=ctx.span_id,
+                    workload=norm.get("workload"),
+                ):
+                    if shares_report:
+                        summary, report = fn(norm, report=traced)
+                    else:
+                        summary, report = fn(norm)
+        wire = distributed.report_to_wire(traced, service="daemon", ctx=ctx)
+        return summary, report, wire
 
     def _health(self) -> dict:
         return {
@@ -502,6 +728,11 @@ class CompileServer:
         self.registry.set_gauge("serve.connections", self._connections)
         self.registry.set_gauge("serve.inflight_compiles", self._active_compiles)
         self.registry.set_gauge("serve.inflight_keys", len(self._flight))
+        estats = self.events.stats()
+        self.registry.set_gauge("serve.events.buffered", estats["buffered"])
+        self.registry.set_gauge("serve.events.dropped", estats["dropped"])
+        self.registry.set_gauge("serve.events.written", estats["written"])
+        self.registry.set_gauge("serve.ring.samples", len(self.ring))
         if self.cache is not None:
             for name, value in self.cache.stats.as_dict().items():
                 self.registry.set_gauge(f"serve.cache.{name}", value)
@@ -524,20 +755,23 @@ class CompileServer:
 
     # -- the real work (worker-pool threads) --------------------------------
 
-    def _compile_workload(self, norm: dict):
+    def _compile_workload(self, norm: dict, report=None):
         """Compile one normalized request through the batch driver.
 
         Runs on a worker thread; returns ``(summary, report)``.  The
         driver sees the shared thread-safe cache, so a warm fingerprint
         never compiles and a fresh result is stored for every later
-        request (and process)."""
+        request (and process).  ``report`` is an already-active tracing
+        collector to reuse (see ``_call_traced``)."""
         from ..options import CompileOptions
         from ..service import instrument
         from ..service.driver import CompileRequest, compile_batch
         from ..workloads import build_workload
 
         t0 = perf_counter()
-        with instrument.collect() as report:
+        with (
+            instrument.collect() if report is None else nullcontext(report)
+        ) as report:
             program = build_workload(norm["workload"], norm["size"])
             request = CompileRequest(
                 program,
@@ -568,7 +802,7 @@ class CompileServer:
             summary["fusion"] = outcome.result.fusion_summary()
         return summary, report
 
-    def _partition_workload(self, norm: dict):
+    def _partition_workload(self, norm: dict, report=None):
         """Multi-target partitioning for one normalized request.
 
         Runs on a worker thread; every partition compiles through
@@ -580,7 +814,9 @@ class CompileServer:
         from ..workloads import build_workload
 
         t0 = perf_counter()
-        with instrument.collect() as report:
+        with (
+            instrument.collect() if report is None else nullcontext(report)
+        ) as report:
             program = build_workload(norm["workload"], norm["size"])
             try:
                 sched = partition_pipeline(
@@ -612,7 +848,7 @@ class CompileServer:
         )
         return summary, report
 
-    def _autotune_workload(self, norm: dict):
+    def _autotune_workload(self, norm: dict, report=None):
         """Tile-size search for one normalized request (worker thread)."""
         from ..options import CompileOptions
         from ..scheduler.autotune import autotune_tile_sizes
@@ -620,7 +856,9 @@ class CompileServer:
         from ..workloads import build_workload
 
         t0 = perf_counter()
-        with instrument.collect() as report:
+        with (
+            instrument.collect() if report is None else nullcontext(report)
+        ) as report:
             program = build_workload(norm["workload"], norm["size"])
             try:
                 tuned = autotune_tile_sizes(

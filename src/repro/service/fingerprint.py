@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -125,9 +126,21 @@ def _digest(obj: object) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+#: Programs are treated as immutable once built (the compile cache already
+#: depends on that), so the structural digest can be memoized per object.
+#: Weak keys keep the memo from pinning programs or surviving id reuse.
+_program_digests: "weakref.WeakKeyDictionary[Program, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def fingerprint_program(program: Program) -> str:
     """Digest of the program structure alone (no target, no tile sizes)."""
-    return _digest({"salt": _SALT, "program": canonical_program(program)})
+    digest = _program_digests.get(program)
+    if digest is None:
+        digest = _digest({"salt": _SALT, "program": canonical_program(program)})
+        _program_digests[program] = digest
+    return digest
 
 
 def fingerprint_request(

@@ -99,6 +99,7 @@ class TierStats:
         self._gauges: Dict[str, float] = {}
         self.get_ms = Histogram(STORE_LATENCY_BUCKETS_MS)
         self.put_ms = Histogram(STORE_LATENCY_BUCKETS_MS)
+        self.flush_ms = Histogram(STORE_LATENCY_BUCKETS_MS)
 
     def inc(self, name: str, n: int = 1) -> None:
         with self._lock:
@@ -115,6 +116,10 @@ class TierStats:
     def observe_put(self, seconds: float) -> None:
         with self._lock:
             self.put_ms.observe(seconds * 1e3)
+
+    def observe_flush(self, seconds: float) -> None:
+        with self._lock:
+            self.flush_ms.observe(seconds * 1e3)
 
     def get(self, name: str) -> int:
         with self._lock:
@@ -134,6 +139,7 @@ class TierStats:
             return {
                 "get_ms": Histogram.from_dict(self.get_ms.as_dict()),
                 "put_ms": Histogram.from_dict(self.put_ms.as_dict()),
+                "flush_ms": Histogram.from_dict(self.flush_ms.as_dict()),
             }
 
     def as_dict(self) -> Dict[str, object]:
@@ -142,6 +148,7 @@ class TierStats:
         with self._lock:
             out["get_ms_mean"] = self.get_ms.mean
             out["put_ms_mean"] = self.put_ms.mean
+            out["flush_ms_mean"] = self.flush_ms.mean
         return out
 
 

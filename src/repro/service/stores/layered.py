@@ -68,6 +68,8 @@ class LayeredStore(CacheStore):
         self._flush_cv = threading.Condition()
         self._down_until = 0.0
         self._down_lock = threading.Lock()
+        self.stats.set_gauge("inflight_flush", 0)
+        self.stats.set_gauge("remote_down", 0)
         self._flusher = threading.Thread(
             target=self._flush_loop, name="repro-cache-flush", daemon=True
         )
@@ -83,6 +85,7 @@ class LayeredStore(CacheStore):
         with self._down_lock:
             was_down = time.monotonic() < self._down_until
             self._down_until = time.monotonic() + self.retry_interval
+        self.stats.set_gauge("remote_down", 1)
         if not was_down:
             logger.warning(
                 "remote cache tier unavailable, degrading to local-only "
@@ -93,6 +96,7 @@ class LayeredStore(CacheStore):
         with self._down_lock:
             if self._down_until:
                 self._down_until = 0.0
+        self.stats.set_gauge("remote_down", 0)
 
     # -- reads ---------------------------------------------------------------
 
@@ -190,6 +194,7 @@ class LayeredStore(CacheStore):
             kind, key, blob = item
             try:
                 if self._remote_alive():
+                    t0 = time.perf_counter()
                     try:
                         # The remote put-skip lives server-side in its
                         # LocalStore; a HEAD probe here would double the
@@ -202,6 +207,8 @@ class LayeredStore(CacheStore):
                         self.stats.inc("flush_errors")
                     else:
                         self._mark_remote_up()
+                    finally:
+                        self.stats.observe_flush(time.perf_counter() - t0)
                 else:
                     self.stats.inc("remote_down_skips")
             finally:

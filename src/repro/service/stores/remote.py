@@ -47,6 +47,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterable, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ...obs import distributed
+from ...obs.trace import annotate, span
 from .base import (
     KINDS,
     CacheStore,
@@ -83,13 +85,70 @@ class _StoreHandler(BaseHTTPRequestHandler):
     def store(self) -> CacheStore:
         return self.server.store
 
+    def parse_request(self):
+        self._t0 = time.perf_counter()
+        return super().parse_request()
+
     def _send(self, code: int, body: bytes = b"", content_type: str = "application/octet-stream"):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        # Distributed tracing: echo the caller's context back and report
+        # server-side handling time so the caller can place a store-server
+        # span inside its own transport span.
+        trace_header = self.headers.get(distributed.HEADER)
+        handle_seconds = None
+        if trace_header:
+            self.send_header(distributed.HEADER, trace_header)
+            t0 = getattr(self, "_t0", None)
+            if t0 is not None:
+                handle_seconds = time.perf_counter() - t0
+                self.send_header(
+                    distributed.SERVER_MS_HEADER, f"{handle_seconds * 1e3:.3f}"
+                )
         self.end_headers()
         if self.command != "HEAD" and body:
             self.wfile.write(body)
+        if trace_header:
+            self._log_trace(trace_header, code, handle_seconds)
+
+    def _log_trace(
+        self, trace_header: str, code: int, handle_seconds: Optional[float]
+    ) -> None:
+        """Append this traced request to the server's event log."""
+        events = getattr(self.server, "events", None)
+        if events is None:
+            return
+        ctx = distributed.TraceContext.from_header(trace_header)
+        if ctx is None:
+            return
+        verb = self.command.lower()
+        events.emit(
+            f"store.{verb}", trace=ctx, path=self.path, status=code
+        )
+        if ctx.sampled and handle_seconds is not None:
+            events.emit_trace(
+                {
+                    "schema": distributed.WIRE_SCHEMA,
+                    "service": "store",
+                    "trace_id": ctx.trace_id,
+                    "parent_span_id": ctx.span_id,
+                    "wall_t0": time.time() - handle_seconds,
+                    "spans": [
+                        {
+                            "id": 1,
+                            "parent": None,
+                            "name": f"store.server.{verb}",
+                            "start": 0.0,
+                            "dur": handle_seconds,
+                            "tid": 0,
+                            "attrs": {"path": self.path, "status": code},
+                        }
+                    ],
+                    "dropped": 0,
+                    "truncated": 0,
+                }
+            )
 
     def _send_json(self, code: int, obj) -> None:
         self._send(code, json.dumps(obj).encode(), "application/json")
@@ -210,16 +269,26 @@ class StoreServer:
             remote = HTTPStore(srv.url)
     """
 
-    def __init__(self, store, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        events_path: Optional[str] = None,
+    ):
         if not isinstance(store, CacheStore):
             # A directory path: serve a LocalStore over it.
             from .local import LocalStore
 
             store = LocalStore(os.fspath(store), tier="remote")
+        from ...obs.events import EventLog
+
         self.store = store
+        self.events = EventLog(path=events_path)
         self._httpd = ThreadingHTTPServer((host, port), _StoreHandler)
         self._httpd.daemon_threads = True
         self._httpd.store = store
+        self._httpd.events = self.events
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -249,6 +318,7 @@ class StoreServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(5.0)
+        self.events.close()
 
     def __enter__(self) -> "StoreServer":
         return self.start()
@@ -302,12 +372,23 @@ class HTTPStore(CacheStore):
     ) -> Tuple[int, bytes]:
         # One silent retry through a fresh connection: a keep-alive
         # connection the server idled out looks like a send/recv error.
+        headers = {}
+        ctx = distributed.current_context()
+        if ctx is not None:
+            headers[distributed.HEADER] = ctx.to_header()
+        self._local.server_ms = None
         for attempt in (0, 1):
             conn = self._conn()
             try:
-                conn.request(method, path, body=body)
+                conn.request(method, path, body=body, headers=headers)
                 resp = conn.getresponse()
                 payload = resp.read()
+                ms = resp.getheader(distributed.SERVER_MS_HEADER)
+                if ms is not None:
+                    try:
+                        self._local.server_ms = float(ms)
+                    except ValueError:
+                        pass
                 return resp.status, payload
             except (OSError, http.client.HTTPException) as exc:
                 self._drop_conn()
@@ -316,6 +397,14 @@ class HTTPStore(CacheStore):
                         f"{method} {self.url}{path}: {type(exc).__name__}: {exc}"
                     ) from exc
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _annotate(self, **attrs) -> None:
+        """Attach transport outcome (+ server-side ms, if echoed) to the
+        innermost open traced span (no-op when not tracing)."""
+        server_ms = getattr(self._local, "server_ms", None)
+        if server_ms is not None:
+            attrs["server_ms"] = server_ms
+        annotate(**attrs)
 
     def _call(self, method: str, path: str, body: Optional[bytes] = None) -> Tuple[int, bytes]:
         status, payload = self._request(method, path, body)
@@ -329,15 +418,17 @@ class HTTPStore(CacheStore):
         check_kind(kind)
         self.stats.inc("gets")
         t0 = time.perf_counter()
-        try:
-            status, payload = self._call("GET", f"/cache/{kind}/{key}")
-        except StoreUnavailable:
-            self.stats.inc("errors")
-            if log is not None:
-                log.errors += 1
-            raise
-        finally:
-            self.stats.observe_get(time.perf_counter() - t0)
+        with span("store.get", tier=self.tier, kind=kind, key=key[:12]):
+            try:
+                status, payload = self._call("GET", f"/cache/{kind}/{key}")
+            except StoreUnavailable:
+                self.stats.inc("errors")
+                if log is not None:
+                    log.errors += 1
+                raise
+            finally:
+                self.stats.observe_get(time.perf_counter() - t0)
+            self._annotate(hit=status == 200)
         if status == 200:
             self.stats.inc("hits")
             if log is not None and log.tier is None:
@@ -356,18 +447,21 @@ class HTTPStore(CacheStore):
         self.stats.inc("batched_gets")
         self.stats.inc("gets", len(keys))
         body = json.dumps({"keys": keys}).encode()
-        try:
-            status, payload = self._call("POST", f"/batch/{kind}", body)
-        except StoreUnavailable:
-            self.stats.inc("errors")
-            if log is not None:
-                log.errors += 1
-            raise
-        if status != 200:
-            self.stats.inc("misses", len(keys))
-            return {}
-        entries = json.loads(payload).get("entries", {})
-        out = {k: base64.b64decode(v) for k, v in entries.items()}
+        with span("store.get_many", tier=self.tier, kind=kind, keys=len(keys)):
+            try:
+                status, payload = self._call("POST", f"/batch/{kind}", body)
+            except StoreUnavailable:
+                self.stats.inc("errors")
+                if log is not None:
+                    log.errors += 1
+                raise
+            if status != 200:
+                self.stats.inc("misses", len(keys))
+                self._annotate(hits=0)
+                return {}
+            entries = json.loads(payload).get("entries", {})
+            out = {k: base64.b64decode(v) for k, v in entries.items()}
+            self._annotate(hits=len(out))
         self.stats.inc("hits", len(out))
         self.stats.inc("misses", len(keys) - len(out))
         if out and log is not None and log.tier is None:
@@ -378,15 +472,19 @@ class HTTPStore(CacheStore):
         check_kind(kind)
         self.stats.inc("puts")
         t0 = time.perf_counter()
-        try:
-            status, _ = self._call("PUT", f"/cache/{kind}/{key}", blob)
-        except StoreUnavailable:
-            self.stats.inc("errors")
-            if log is not None:
-                log.errors += 1
-            raise
-        finally:
-            self.stats.observe_put(time.perf_counter() - t0)
+        with span(
+            "store.put", tier=self.tier, kind=kind, key=key[:12], bytes=len(blob)
+        ):
+            try:
+                status, _ = self._call("PUT", f"/cache/{kind}/{key}", blob)
+            except StoreUnavailable:
+                self.stats.inc("errors")
+                if log is not None:
+                    log.errors += 1
+                raise
+            finally:
+                self.stats.observe_put(time.perf_counter() - t0)
+            self._annotate(ok=status == 204)
         if status == 204:
             if log is not None:
                 log.stored = True
